@@ -1,0 +1,72 @@
+// Shared helpers for the experiment benches (DESIGN.md Section 4).
+//
+// The experiment harnesses E1-E4 and E6-E10 are standalone table printers:
+// they measure amortized quantities across whole update sequences (multiple
+// batches, warm structures), which does not fit the google-benchmark
+// iteration model; micro benches and the static-matching experiment (E5)
+// use google-benchmark directly.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gen/workloads.h"
+#include "graph/edge_batch.h"
+#include "util/timer.h"
+
+namespace parmatch::bench {
+
+// Drives a workload through any matcher with insert_edges/delete_edges;
+// returns elapsed seconds.
+template <typename M>
+double drive_workload(M& m, const gen::Workload& w) {
+  std::vector<graph::EdgeId> live(w.master.size());
+  Timer t;
+  for (const auto& step : w.steps) {
+    if (step.is_insert) {
+      graph::EdgeBatch chunk;
+      for (std::size_t i : step.edges) chunk.add(w.master.edge(i));
+      auto ids = m.insert_edges(chunk);
+      for (std::size_t j = 0; j < step.edges.size(); ++j)
+        live[step.edges[j]] = ids[j];
+    } else {
+      std::vector<graph::EdgeId> ids;
+      ids.reserve(step.edges.size());
+      for (std::size_t i : step.edges) ids.push_back(live[i]);
+      m.delete_edges(ids);
+    }
+  }
+  return t.elapsed();
+}
+
+// Fixed-width table printing, one row per parameter point.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    for (const auto& h : headers_) std::printf("%16s", h.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < headers_.size(); ++i) std::printf("%16s",
+        "---------------");
+    std::printf("\n");
+  }
+
+  void row(const std::vector<std::string>& cells) {
+    for (const auto& c : cells) std::printf("%16s", c.c_str());
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+  static std::string num(double v, int precision = 3) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+  }
+  static std::string num(std::size_t v) { return std::to_string(v); }
+
+ private:
+  std::vector<std::string> headers_;
+};
+
+}  // namespace parmatch::bench

@@ -1,0 +1,42 @@
+// E1 -- Theorem 1.1 / Corollary 1.2: O(1) amortized work per update for
+// rank-2 graphs, independent of graph size.
+//
+// Sweeps the graph size over 16x while holding the batch size and update
+// mix fixed; the per-update columns (time, work units, samples) should stay
+// flat. See EXPERIMENTS.md for recorded results.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "dyn/dynamic_matcher.h"
+#include "gen/generators.h"
+
+using namespace parmatch;
+using namespace parmatch::bench;
+
+int main() {
+  std::printf(
+      "E1: amortized cost per update vs graph size (r=2, batch=1024,\n"
+      "    churn p_insert=0.5). Claim: columns flat as n grows 16x.\n\n");
+  Table table({"n", "m", "updates", "us/update", "work/update",
+               "samples/update", "settles"});
+  for (int logn = 12; logn <= 16; ++logn) {
+    auto n = static_cast<graph::VertexId>(1u << logn);
+    std::size_t m = 3u * n;
+    auto w = gen::churn(gen::erdos_renyi(n, m, 7 + logn), 1024, 0.5,
+                        100 + logn);
+    dyn::Config cfg;
+    cfg.seed = 42;
+    dyn::DynamicMatcher dm(cfg);
+    double secs = drive_workload(dm, w);
+    const auto& st = dm.cumulative_stats();
+    double updates = static_cast<double>(st.total_updates());
+    table.row({Table::num(static_cast<std::size_t>(n)), Table::num(m),
+               Table::num(st.total_updates()),
+               Table::num(secs * 1e6 / updates),
+               Table::num(static_cast<double>(st.work_units) / updates, 2),
+               Table::num(static_cast<double>(st.samples_created) / updates,
+                          2),
+               Table::num(st.settle_rounds)});
+  }
+  return 0;
+}

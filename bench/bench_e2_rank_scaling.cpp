@@ -1,0 +1,42 @@
+// E2 -- Theorem 1.1: O(r^3) amortized work per edge update on hypergraphs.
+//
+// Sweeps the rank r with everything else fixed and reports work per update
+// alongside the normalized ratio against r=2 and the r^3 reference curve.
+// The claim holds if the measured growth stays at or below the r^3 line
+// (the bound is worst-case; random workloads typically sit near r..r^2).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "dyn/dynamic_matcher.h"
+#include "gen/generators.h"
+
+using namespace parmatch;
+using namespace parmatch::bench;
+
+int main() {
+  std::printf(
+      "E2: amortized cost per edge update vs hyperedge rank r\n"
+      "    (n=16384, m=49152, batch=512, churn p=0.45 -- deletion heavy).\n"
+      "    Claim: work/update grows no faster than r^3.\n\n");
+  Table table({"r", "us/update", "work/update", "ratio_vs_r2", "r^3_ref",
+               "settles"});
+  double base_work = 0;
+  for (std::size_t r : {2ul, 3ul, 4ul, 5ul, 6ul, 8ul}) {
+    auto w = gen::churn(gen::random_hypergraph(16'384, 49'152, r, 11 + r),
+                        512, 0.45, 200 + r);
+    dyn::Config cfg;
+    cfg.max_rank = r;
+    cfg.seed = 42;
+    dyn::DynamicMatcher dm(cfg);
+    double secs = drive_workload(dm, w);
+    const auto& st = dm.cumulative_stats();
+    double updates = static_cast<double>(st.total_updates());
+    double work = static_cast<double>(st.work_units) / updates;
+    if (r == 2) base_work = work;
+    double r3 = static_cast<double>(r * r * r) / 8.0;  // normalized to r=2
+    table.row({Table::num(r), Table::num(secs * 1e6 / updates),
+               Table::num(work, 2), Table::num(work / base_work, 2),
+               Table::num(r3, 2), Table::num(st.settle_rounds)});
+  }
+  return 0;
+}

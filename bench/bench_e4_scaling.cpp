@@ -1,0 +1,137 @@
+// E4 -- Corollary 1.2: the algorithm is work-optimal, so parallelism comes
+// without work blowup. This bench reports self-relative scaling of the
+// library against a measured *hardware ceiling*, because virtualized or
+// SMT-shared "cores" often cannot give 2x even to embarrassingly parallel
+// register-only code. Rows:
+//   alu_ceiling   raw std::thread scaling of pure compute (the ceiling)
+//   pfor_fill     parallel_for over a large array (scheduler overhead view)
+//   static_match  parallelGreedyMatch on a large graph (Lemma 1.3 workload)
+//   dynamic       large-batch churn through the full dynamic structure
+// Speedups close to the ceiling mean the scheduler adds little; memory-
+// bandwidth-bound phases (radix scatter) may fall below it.
+//
+// The worker count is fixed at scheduler startup (PARMATCH_NUM_THREADS), so
+// the binary re-executes itself once per thread count.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "dyn/dynamic_matcher.h"
+#include "gen/generators.h"
+#include "graph/edge_pool.h"
+#include "matching/parallel_greedy.h"
+#include "parallel/parallel_for.h"
+#include "parallel/scheduler.h"
+
+using namespace parmatch;
+using namespace parmatch::bench;
+
+namespace {
+
+unsigned long spin(long iters) {
+  unsigned long acc = 1;
+  for (long i = 0; i < iters; ++i)
+    acc = acc * 6364136223846793005ull + 1442695040888963407ull;
+  return acc;
+}
+
+// Raw two-thread compute ceiling, measured without the scheduler.
+double alu_seconds(int threads) {
+  const long kIters = 400'000'000;
+  Timer t;
+  std::vector<std::thread> ts;
+  for (int i = 1; i < threads; ++i)
+    ts.emplace_back([&] { volatile auto x = spin(kIters); (void)x; });
+  volatile auto x = spin(kIters);
+  (void)x;
+  for (auto& th : ts) th.join();
+  return t.elapsed();
+}
+
+int run_worker() {
+  double pfor;
+  {
+    std::vector<double> v(1 << 24);
+    Timer t;
+    for (int rep = 0; rep < 4; ++rep)
+      parallel::parallel_for(0, v.size(), [&](std::size_t i) {
+        v[i] = static_cast<double>(i) * 1.5 + v[i];
+      });
+    pfor = t.elapsed();
+  }
+  double stat;
+  {
+    graph::EdgePool pool(2);
+    auto ids = pool.add_edges(gen::erdos_renyi(1u << 17, 1u << 19, 3));
+    Timer t;
+    auto result = matching::parallel_greedy_match(pool, ids, 9);
+    stat = t.elapsed();
+    if (result.matched.empty()) return 1;
+  }
+  double dyn_secs;
+  {
+    auto w =
+        gen::churn(gen::erdos_renyi(1u << 17, 3u << 17, 5), 65'536, 0.5, 7);
+    dyn::DynamicMatcher dm;
+    dyn_secs = drive_workload(dm, w);
+  }
+  std::printf("RESULT %d %.6f %.6f %.6f\n", parallel::num_workers(), pfor,
+              stat, dyn_secs);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--worker") == 0) return run_worker();
+
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw < 1) hw = 1;
+  std::printf(
+      "E4: self-relative scaling vs the measured hardware ceiling.\n\n");
+  double alu1 = alu_seconds(1);
+
+  Table table({"threads", "alu_ceiling", "pfor_fill", "static_match",
+               "dynamic"});
+  double pfor1 = 0, stat1 = 0, dyn1 = 0;
+  for (int p = 1; p <= hw; p *= 2) {
+    char cmd[512];
+    std::snprintf(cmd, sizeof(cmd),
+                  "PARMATCH_NUM_THREADS=%d %s --worker > /tmp/parmatch_e4.out",
+                  p, argv[0]);
+    if (std::system(cmd) != 0) {
+      std::fprintf(stderr, "worker failed for p=%d\n", p);
+      return 1;
+    }
+    FILE* f = std::fopen("/tmp/parmatch_e4.out", "r");
+    int threads = 0;
+    double pf = 0, st = 0, dy = 0;
+    if (std::fscanf(f, "RESULT %d %lf %lf %lf", &threads, &pf, &st, &dy) !=
+        4) {
+      std::fclose(f);
+      std::fprintf(stderr, "bad worker output for p=%d\n", p);
+      return 1;
+    }
+    std::fclose(f);
+    if (p == 1) {
+      pfor1 = pf;
+      stat1 = st;
+      dyn1 = dy;
+    }
+    // Ceiling: p threads each doing the 1-thread workload; perfect sharing
+    // would take alu1 (speedup p); the measured ratio is the achievable cap.
+    double ceiling = p == 1 ? 1.0 : p * alu1 / alu_seconds(p);
+    table.row({Table::num(static_cast<std::size_t>(threads)),
+               Table::num(ceiling, 2), Table::num(pfor1 / pf, 2),
+               Table::num(stat1 / st, 2), Table::num(dyn1 / dy, 2)});
+  }
+  std::printf(
+      "\n(speedups are relative to 1 thread; alu_ceiling is what raw\n"
+      " std::thread compute achieves on this machine -- virtualized cores\n"
+      " often share execution resources and cannot reach the nominal 2x)\n");
+  return 0;
+}

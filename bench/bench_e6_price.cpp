@@ -1,0 +1,149 @@
+// E6 -- Lemmas 3.3, 3.4 and 5.8: the price of the random sample spaces.
+//
+// For several deletion orders, measures (averaged over matcher seeds):
+//   * payment per *early* delete (early deletes carry all payment; Lemma
+//     3.3 bounds each early delete's expected payment by 2);
+//   * the maximum over time steps t of the seed-averaged payment at t
+//     (an estimate of max_t E[Phi(d_t)] <= 2);
+//   * whether a full teardown pays exactly m (Lemma 3.4, every run).
+// The "matched-first" row is an *adaptive* order included for contrast: it
+// reads the realized matching and deletes it first, which the oblivious
+// bound does not cover -- its per-step expectation blows past 2.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/generators.h"
+#include "graph/edge_pool.h"
+#include "matching/parallel_greedy.h"
+#include "matching/price_audit.h"
+#include "prims/permutation.h"
+
+using namespace parmatch;
+using namespace parmatch::bench;
+using graph::EdgeId;
+
+namespace {
+
+struct OrderStats {
+  double early_mean = 0;   // total payment / early deletes, seed-averaged
+  double max_step_mean = 0;  // max_t of seed-averaged payment at step t
+  bool totals_exact = true;
+};
+
+template <typename OrderFn>
+OrderStats measure(const graph::EdgePool& pool,
+                   const std::vector<EdgeId>& ids, int num_seeds,
+                   const OrderFn& order_of) {
+  OrderStats out;
+  std::vector<double> step_sum(ids.size(), 0.0);
+  double early_ratio_sum = 0;
+  for (int s = 0; s < num_seeds; ++s) {
+    auto result = matching::parallel_greedy_match(pool, ids, 500 + s);
+    auto order = order_of(result);
+    matching::PriceAuditor audit(result);
+    std::size_t early = 0;
+    for (std::size_t t = 0; t < order.size(); ++t) {
+      auto pay = audit.on_delete(order[t]);
+      step_sum[t] += static_cast<double>(pay);
+      if (pay > 0) ++early;  // positive payment iff early (Lemma 5.8)
+    }
+    out.totals_exact = out.totals_exact &&
+                       audit.total_payment() ==
+                           static_cast<std::int64_t>(ids.size());
+    early_ratio_sum += static_cast<double>(audit.total_payment()) /
+                       static_cast<double>(early);
+  }
+  out.early_mean = early_ratio_sum / num_seeds;
+  for (double s : step_sum)
+    out.max_step_mean = std::max(out.max_step_mean, s / num_seeds);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E6: price per delete (Lemmas 3.3/3.4), 40 seeds, m=12000.\n"
+      "    Claim: for oblivious orders the payment per early delete stays\n"
+      "    <= 2 and a full teardown always pays exactly m. max_t E[pay] is\n"
+      "    a noisy selection-maximum over 12000 steps of 40-seed means --\n"
+      "    compare it across rows, not against 2. The adaptive\n"
+      "    matched-first row (*) breaks the oblivious premise and blows\n"
+      "    through the bound on both columns.\n\n");
+  const int kSeeds = 40;
+  graph::EdgePool pool(2);
+  auto ids = pool.add_edges(gen::erdos_renyi(2'000, 12'000, 3));
+  std::vector<EdgeId> sorted_ids = ids;
+  std::sort(sorted_ids.begin(), sorted_ids.end());
+
+  Table table({"delete_order", "pay/early", "max_t E[pay]", "total==m"});
+
+  auto fixed = [&](std::vector<EdgeId> order) {
+    return [order](const matching::MatchResult&) { return order; };
+  };
+
+  {
+    auto st = measure(pool, ids, kSeeds, fixed(sorted_ids));
+    table.row({"ascending_id", Table::num(st.early_mean),
+               Table::num(st.max_step_mean),
+               st.totals_exact ? "yes" : "NO"});
+  }
+  {
+    auto rev = sorted_ids;
+    std::reverse(rev.begin(), rev.end());
+    auto st = measure(pool, ids, kSeeds, fixed(rev));
+    table.row({"descending_id", Table::num(st.early_mean),
+               Table::num(st.max_step_mean),
+               st.totals_exact ? "yes" : "NO"});
+  }
+  {
+    auto perm = prims::random_permutation(ids.size(), 77);
+    std::vector<EdgeId> shuffled(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) shuffled[i] = ids[perm[i]];
+    auto st = measure(pool, ids, kSeeds, fixed(shuffled));
+    table.row({"random", Table::num(st.early_mean),
+               Table::num(st.max_step_mean),
+               st.totals_exact ? "yes" : "NO"});
+  }
+  {
+    // Hub-biased order: delete the edges of the densest vertices first
+    // (oblivious: computed from the graph, not the matching).
+    std::vector<std::size_t> degree(pool.vertex_bound(), 0);
+    for (EdgeId e : ids)
+      for (auto v : pool.vertices(e)) degree[v]++;
+    auto hubs = sorted_ids;
+    std::stable_sort(hubs.begin(), hubs.end(), [&](EdgeId a, EdgeId b) {
+      auto score = [&](EdgeId e) {
+        std::size_t s = 0;
+        for (auto v : pool.vertices(e)) s = std::max(s, degree[v]);
+        return s;
+      };
+      return score(a) > score(b);
+    });
+    auto st = measure(pool, ids, kSeeds, fixed(hubs));
+    table.row({"hubs_first", Table::num(st.early_mean),
+               Table::num(st.max_step_mean),
+               st.totals_exact ? "yes" : "NO"});
+  }
+  {
+    // Adaptive adversary (reads the realized matching): deletes all matched
+    // edges first. The contrast row.
+    auto adaptive = [&](const matching::MatchResult& r) {
+      std::vector<EdgeId> order = r.matched;
+      std::vector<std::uint8_t> is_matched(pool.id_bound(), 0);
+      for (EdgeId m : r.matched) is_matched[m] = 1;
+      for (EdgeId e : sorted_ids)
+        if (!is_matched[e]) order.push_back(e);
+      return order;
+    };
+    auto st = measure(pool, ids, kSeeds, adaptive);
+    table.row({"matched_first*", Table::num(st.early_mean),
+               Table::num(st.max_step_mean),
+               st.totals_exact ? "yes" : "NO"});
+  }
+  std::printf("\n(*) adaptive order, shown for contrast; the oblivious\n"
+              "    bound does not apply to it.\n");
+  return 0;
+}

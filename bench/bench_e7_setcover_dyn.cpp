@@ -1,0 +1,89 @@
+// E7 -- Corollary 1.4: batch-dynamic r-approximate set cover at O(r^3)
+// amortized work per element update.
+//
+// Element churn over random set systems for several maximum frequencies r:
+// reports amortized cost per element update and the realized cover-quality
+// bound (cover size / matching lower bound <= r).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "setcover/set_cover.h"
+#include "util/rng.h"
+
+using namespace parmatch;
+using namespace parmatch::bench;
+using setcover::ElementId;
+using setcover::SetId;
+
+namespace {
+
+setcover::ElementBatch random_system(SetId sets, std::size_t elements,
+                                     std::size_t r, std::uint64_t seed) {
+  Rng rng(seed);
+  setcover::ElementBatch batch;
+  std::vector<SetId> picks;
+  for (std::size_t i = 0; i < elements; ++i) {
+    std::size_t k = 1 + rng.next_below(r);
+    picks.clear();
+    while (picks.size() < k) {
+      auto s = static_cast<SetId>(rng.next_below(sets));
+      bool dup = false;
+      for (SetId p : picks) dup = dup || p == s;
+      if (!dup) picks.push_back(s);
+    }
+    batch.add(std::span<const SetId>(picks));
+  }
+  return batch;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E7: batch-dynamic set cover under element churn (batch=512,\n"
+      "    24576 elements over 4096 sets). Claim: cost bounded, ratio <= r.\n\n");
+  Table table({"r", "us/update", "work/update", "final_cover",
+               "lower_bound", "ratio"});
+  for (std::size_t r : {2ul, 3ul, 4ul, 6ul}) {
+    setcover::DynamicSetCover cover(r, 17 + r);
+    auto system = random_system(4'096, 24'576, r, 29 + r);
+    Rng rng(31 + r);
+    Timer timer;
+    std::vector<ElementId> live;
+    std::size_t updates = 0, cursor = 0;
+    while (cursor < system.size()) {
+      setcover::ElementBatch chunk;
+      for (std::size_t i = 0; i < 512 && cursor < system.size(); ++i)
+        chunk.add(system.edge(cursor++));
+      auto ids = cover.insert_elements(chunk);
+      live.insert(live.end(), ids.begin(), ids.end());
+      updates += ids.size();
+      if (live.size() > 4'096) {
+        std::vector<ElementId> victims;
+        for (int i = 0; i < 2'048; ++i) {
+          std::size_t j = rng.next_below(live.size());
+          std::swap(live[j], live.back());
+          victims.push_back(live.back());
+          live.pop_back();
+        }
+        cover.delete_elements(victims);
+        updates += victims.size();
+      }
+    }
+    double secs = timer.elapsed();
+    const auto& st = cover.matcher().cumulative_stats();
+    double ratio = cover.matching_size() == 0
+                       ? 1.0
+                       : static_cast<double>(cover.cover_size()) /
+                             static_cast<double>(cover.matching_size());
+    table.row({Table::num(r),
+               Table::num(secs * 1e6 / static_cast<double>(updates)),
+               Table::num(static_cast<double>(st.work_units) /
+                              static_cast<double>(updates),
+                          2),
+               Table::num(cover.cover_size()),
+               Table::num(cover.matching_size()), Table::num(ratio, 2)});
+  }
+  return 0;
+}

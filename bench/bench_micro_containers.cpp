@@ -1,0 +1,78 @@
+// Micro-benchmarks of the phase-concurrent dictionaries (DESIGN.md S5):
+// batch insert/erase/lookup throughput, matching the costs assumed in the
+// paper's Section 2.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "containers/flat_hash_map.h"
+#include "containers/flat_hash_set.h"
+#include "util/rng.h"
+
+using namespace parmatch;
+
+namespace {
+
+std::vector<std::uint64_t> make_keys(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.next();
+  return v;
+}
+
+void BM_BatchInsert(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto keys = make_keys(n, 1);
+  for (auto _ : state) {
+    ct::flat_hash_set<std::uint64_t> s;
+    s.batch_insert(keys);
+    benchmark::DoNotOptimize(s.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BatchInsert)->Range(1 << 12, 1 << 20);
+
+void BM_BatchErase(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto keys = make_keys(n, 2);
+  ct::flat_hash_set<std::uint64_t> base;
+  base.batch_insert(keys);
+  for (auto _ : state) {
+    auto s = base;
+    s.batch_erase(keys);
+    benchmark::DoNotOptimize(s.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BatchErase)->Range(1 << 12, 1 << 18);
+
+void BM_SequentialFind(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto keys = make_keys(n, 3);
+  ct::flat_hash_map<std::uint64_t, std::uint64_t> m;
+  for (std::size_t i = 0; i < n; ++i) m.insert(keys[i], i);
+  std::size_t idx = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.find(keys[idx % n]));
+    ++idx;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SequentialFind)->Range(1 << 12, 1 << 18);
+
+void BM_Elements(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto keys = make_keys(n, 4);
+  ct::flat_hash_set<std::uint64_t> s;
+  s.batch_insert(keys);
+  for (auto _ : state) {
+    auto v = s.elements();
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Elements)->Range(1 << 12, 1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Micro-benchmarks of the substrate primitives (DESIGN.md S2-S4), so that
+// substrate regressions are visible independently of the core algorithm.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "prims/filter.h"
+#include "prims/group_by.h"
+#include "prims/permutation.h"
+#include "prims/radix_sort.h"
+#include "prims/reduce.h"
+#include "prims/sort.h"
+#include "util/rng.h"
+
+using namespace parmatch;
+
+namespace {
+
+std::vector<std::uint64_t> make_values(std::size_t n, std::uint64_t bound) {
+  Rng rng(n);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.next_below(bound);
+  return v;
+}
+
+void BM_ScanExclusive(benchmark::State& state) {
+  auto v = make_values(static_cast<std::size_t>(state.range(0)), 1000);
+  for (auto _ : state) {
+    auto copy = v;
+    benchmark::DoNotOptimize(
+        prims::scan_exclusive(std::span<std::uint64_t>(copy)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScanExclusive)->Range(1 << 14, 1 << 22);
+
+void BM_Filter(benchmark::State& state) {
+  auto v = make_values(static_cast<std::size_t>(state.range(0)), 1000);
+  for (auto _ : state) {
+    auto out = prims::filter(std::span<const std::uint64_t>(v),
+                             [](std::uint64_t x) { return x % 3 == 0; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Filter)->Range(1 << 14, 1 << 22);
+
+void BM_RadixSort64(benchmark::State& state) {
+  auto v = make_values(static_cast<std::size_t>(state.range(0)), ~0ull);
+  for (auto _ : state) {
+    auto copy = v;
+    prims::radix_sort(copy, [](std::uint64_t x) { return x; }, 64);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RadixSort64)->Range(1 << 14, 1 << 21);
+
+void BM_ParallelSort(benchmark::State& state) {
+  auto v = make_values(static_cast<std::size_t>(state.range(0)), ~0ull);
+  for (auto _ : state) {
+    auto copy = v;
+    prims::parallel_sort(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParallelSort)->Range(1 << 14, 1 << 21);
+
+void BM_GroupBy(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto keys = make_values(n, n / 16 + 1);
+  std::vector<std::uint32_t> k32(keys.begin(), keys.end());
+  auto vals = prims::iota<std::uint32_t>(n);
+  for (auto _ : state) {
+    auto g = prims::group_by(std::span<const std::uint32_t>(k32),
+                             std::span<const std::uint32_t>(vals));
+    benchmark::DoNotOptimize(g.values.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupBy)->Range(1 << 14, 1 << 20);
+
+void BM_RandomPermutation(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    auto p = prims::random_permutation(
+        static_cast<std::size_t>(state.range(0)), seed++);
+    benchmark::DoNotOptimize(p.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RandomPermutation)->Range(1 << 14, 1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();
