@@ -7,7 +7,10 @@
 // use google-benchmark directly.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -17,13 +20,30 @@
 
 namespace parmatch::bench {
 
+// Parses `--seed N` / `--seed=N` from argv (default `def`). Every table
+// bench derives all of its generator and matcher seeds from this one value,
+// so a recorded table can be reproduced exactly with the same flag.
+inline std::uint64_t seed_from_args(int argc, char** argv,
+                                    std::uint64_t def = 42) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    if (std::strncmp(argv[i], "--seed=", 7) == 0)
+      return std::strtoull(argv[i] + 7, nullptr, 10);
+  }
+  return def;
+}
+
 // Drives a workload through any matcher with insert_edges/delete_edges;
-// returns elapsed seconds.
+// returns elapsed seconds. `live` is pre-sized once from the master batch
+// (step indices are master indices), and empty steps are skipped so
+// degenerate scripts cost nothing.
 template <typename M>
 double drive_workload(M& m, const gen::Workload& w) {
   std::vector<graph::EdgeId> live(w.master.size());
   Timer t;
   for (const auto& step : w.steps) {
+    if (step.edges.empty()) continue;
     if (step.is_insert) {
       graph::EdgeBatch chunk;
       for (std::size_t i : step.edges) chunk.add(w.master.edge(i));

@@ -27,10 +27,10 @@ struct Variant {
   dyn::Config cfg;
 };
 
-std::vector<Variant> variants() {
+std::vector<Variant> variants(std::uint64_t seed) {
   std::vector<Variant> out;
   dyn::Config base;
-  base.seed = 42;
+  base.seed = seed;
   {
     Variant v{"paper(a2,h4)", base};
     out.push_back(v);
@@ -63,11 +63,12 @@ std::vector<Variant> variants() {
   return out;
 }
 
-void run_table(const char* title, const gen::Workload& w) {
+void run_table(const char* title, std::uint64_t seed,
+               const gen::Workload& w) {
   std::printf("%s\n\n", title);
   Table table({"variant", "us/update", "work/update", "samples/upd",
                "settles", "stolen", "bloated"});
-  for (const auto& v : variants()) {
+  for (const auto& v : variants(seed)) {
     dyn::DynamicMatcher dm(v.cfg);
     double secs = drive_workload(dm, w);
     const auto& st = dm.cumulative_stats();
@@ -84,7 +85,8 @@ void run_table(const char* title, const gen::Workload& w) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::uint64_t seed = seed_from_args(argc, argv);
   std::printf(
       "E10: ablations of Section 5's design choices (gap, heavy factor,\n"
       "     light-only). Claim: the paper's configuration is on the\n"
@@ -92,14 +94,15 @@ int main() {
   // Adversarial with mixed degrees: the oblivious sequence precomputed
   // against the folklore matcher, on a skewed RMAT graph, hits hubs of many
   // different sizes -- levels, settles and steals all engage.
-  auto adversarial = baseline::targeted_teardown(gen::rmat(13, 24'576, 3));
+  auto adversarial =
+      baseline::targeted_teardown(gen::rmat(13, 24'576, seed + 3));
   run_table("-- adversarial: targeted teardown of an RMAT graph (m=24576)",
-            adversarial);
+            seed, adversarial);
   // Sustained hub churn: spokes of eight degree-2048 hubs stream through a
   // sliding window, so matched spokes keep getting deleted while the hub
   // degree stays high -- the heavy/settle path fires continuously.
   auto sliding = gen::sliding_window(gen::hub_graph(8, 2'048), 512, 4);
   run_table("-- sustained: sliding window over 8 hubs of degree 2048",
-            sliding);
+            seed, sliding);
   return 0;
 }

@@ -13,7 +13,8 @@
 using namespace parmatch;
 using namespace parmatch::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  std::uint64_t seed = seed_from_args(argc, argv);
   std::printf(
       "E1: amortized cost per update vs graph size (r=2, batch=1024,\n"
       "    churn p_insert=0.5). Claim: columns flat as n grows 16x.\n\n");
@@ -22,10 +23,10 @@ int main() {
   for (int logn = 12; logn <= 16; ++logn) {
     auto n = static_cast<graph::VertexId>(1u << logn);
     std::size_t m = 3u * n;
-    auto w = gen::churn(gen::erdos_renyi(n, m, 7 + logn), 1024, 0.5,
-                        100 + logn);
+    auto w = gen::churn(gen::erdos_renyi(n, m, seed + 7 + logn), 1024, 0.5,
+                        seed + 100 + logn);
     dyn::Config cfg;
-    cfg.seed = 42;
+    cfg.seed = seed;
     dyn::DynamicMatcher dm(cfg);
     double secs = drive_workload(dm, w);
     const auto& st = dm.cumulative_stats();

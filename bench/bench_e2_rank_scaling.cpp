@@ -13,7 +13,8 @@
 using namespace parmatch;
 using namespace parmatch::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  std::uint64_t seed = seed_from_args(argc, argv);
   std::printf(
       "E2: amortized cost per edge update vs hyperedge rank r\n"
       "    (n=16384, m=49152, batch=512, churn p=0.45 -- deletion heavy).\n"
@@ -22,11 +23,12 @@ int main() {
                "settles"});
   double base_work = 0;
   for (std::size_t r : {2ul, 3ul, 4ul, 5ul, 6ul, 8ul}) {
-    auto w = gen::churn(gen::random_hypergraph(16'384, 49'152, r, 11 + r),
-                        512, 0.45, 200 + r);
+    auto w = gen::churn(
+        gen::random_hypergraph(16'384, 49'152, r, seed + 11 + r), 512, 0.45,
+        seed + 200 + r);
     dyn::Config cfg;
     cfg.max_rank = r;
-    cfg.seed = 42;
+    cfg.seed = seed;
     dyn::DynamicMatcher dm(cfg);
     double secs = drive_workload(dm, w);
     const auto& st = dm.cumulative_stats();

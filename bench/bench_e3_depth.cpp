@@ -20,7 +20,8 @@
 using namespace parmatch;
 using namespace parmatch::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  std::uint64_t seed = seed_from_args(argc, argv);
   std::printf(
       "E3a: settle rounds per deletion batch on hub graphs (the heavy\n"
       "     path). Claim: rounds stay O(log m) -- observed far below.\n\n");
@@ -29,7 +30,7 @@ int main() {
                  "depth_proxy"});
     for (std::size_t spokes : {1ul << 10, 1ul << 12, 1ul << 14, 1ul << 16}) {
       dyn::Config cfg;
-      cfg.seed = 5;
+      cfg.seed = seed + 5;
       dyn::DynamicMatcher dm(cfg);
       dm.insert_edges(
           gen::hub_graph(4, static_cast<graph::VertexId>(spokes)));
@@ -58,9 +59,9 @@ int main() {
     for (int logm = 12; logm <= 19; ++logm) {
       std::size_t m = 1ull << logm;
       graph::EdgePool pool(2);
-      auto ids = pool.add_edges(
-          gen::erdos_renyi(static_cast<graph::VertexId>(m / 3), m, logm));
-      auto result = matching::parallel_greedy_match(pool, ids, 17);
+      auto ids = pool.add_edges(gen::erdos_renyi(
+          static_cast<graph::VertexId>(m / 3), m, seed + logm));
+      auto result = matching::parallel_greedy_match(pool, ids, seed + 17);
       table.row({Table::num(m), Table::num((double)logm, 1),
                  Table::num(result.rounds),
                  Table::num((double)result.rounds / (double)logm, 2)});

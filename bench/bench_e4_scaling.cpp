@@ -52,7 +52,7 @@ double alu_seconds(int threads) {
   return t.elapsed();
 }
 
-int run_worker() {
+int run_worker(std::uint64_t seed) {
   double pfor;
   {
     std::vector<double> v(1 << 24);
@@ -66,17 +66,19 @@ int run_worker() {
   double stat;
   {
     graph::EdgePool pool(2);
-    auto ids = pool.add_edges(gen::erdos_renyi(1u << 17, 1u << 19, 3));
+    auto ids = pool.add_edges(gen::erdos_renyi(1u << 17, 1u << 19, seed + 3));
     Timer t;
-    auto result = matching::parallel_greedy_match(pool, ids, 9);
+    auto result = matching::parallel_greedy_match(pool, ids, seed + 9);
     stat = t.elapsed();
     if (result.matched.empty()) return 1;
   }
   double dyn_secs;
   {
-    auto w =
-        gen::churn(gen::erdos_renyi(1u << 17, 3u << 17, 5), 65'536, 0.5, 7);
-    dyn::DynamicMatcher dm;
+    auto w = gen::churn(gen::erdos_renyi(1u << 17, 3u << 17, seed + 5),
+                        65'536, 0.5, seed + 7);
+    dyn::Config cfg;
+    cfg.seed = seed;
+    dyn::DynamicMatcher dm(cfg);
     dyn_secs = drive_workload(dm, w);
   }
   std::printf("RESULT %d %.6f %.6f %.6f\n", parallel::num_workers(), pfor,
@@ -87,7 +89,9 @@ int run_worker() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--worker") == 0) return run_worker();
+  std::uint64_t seed = seed_from_args(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "--worker") == 0)
+    return run_worker(seed);
 
   int hw = static_cast<int>(std::thread::hardware_concurrency());
   if (hw < 1) hw = 1;
@@ -101,8 +105,9 @@ int main(int argc, char** argv) {
   for (int p = 1; p <= hw; p *= 2) {
     char cmd[512];
     std::snprintf(cmd, sizeof(cmd),
-                  "PARMATCH_NUM_THREADS=%d %s --worker > /tmp/parmatch_e4.out",
-                  p, argv[0]);
+                  "PARMATCH_NUM_THREADS=%d %s --worker --seed %llu "
+                  "> /tmp/parmatch_e4.out",
+                  p, argv[0], static_cast<unsigned long long>(seed));
     if (std::system(cmd) != 0) {
       std::fprintf(stderr, "worker failed for p=%d\n", p);
       return 1;

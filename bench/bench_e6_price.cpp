@@ -35,12 +35,13 @@ struct OrderStats {
 template <typename OrderFn>
 OrderStats measure(const graph::EdgePool& pool,
                    const std::vector<EdgeId>& ids, int num_seeds,
-                   const OrderFn& order_of) {
+                   std::uint64_t seed_base, const OrderFn& order_of) {
   OrderStats out;
   std::vector<double> step_sum(ids.size(), 0.0);
   double early_ratio_sum = 0;
   for (int s = 0; s < num_seeds; ++s) {
-    auto result = matching::parallel_greedy_match(pool, ids, 500 + s);
+    auto result =
+        matching::parallel_greedy_match(pool, ids, seed_base + s);
     auto order = order_of(result);
     matching::PriceAuditor audit(result);
     std::size_t early = 0;
@@ -63,7 +64,8 @@ OrderStats measure(const graph::EdgePool& pool,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::uint64_t seed = seed_from_args(argc, argv);
   std::printf(
       "E6: price per delete (Lemmas 3.3/3.4), 40 seeds, m=12000.\n"
       "    Claim: for oblivious orders the payment per early delete stays\n"
@@ -74,7 +76,7 @@ int main() {
       "    through the bound on both columns.\n\n");
   const int kSeeds = 40;
   graph::EdgePool pool(2);
-  auto ids = pool.add_edges(gen::erdos_renyi(2'000, 12'000, 3));
+  auto ids = pool.add_edges(gen::erdos_renyi(2'000, 12'000, seed + 3));
   std::vector<EdgeId> sorted_ids = ids;
   std::sort(sorted_ids.begin(), sorted_ids.end());
 
@@ -85,7 +87,7 @@ int main() {
   };
 
   {
-    auto st = measure(pool, ids, kSeeds, fixed(sorted_ids));
+    auto st = measure(pool, ids, kSeeds, seed + 500, fixed(sorted_ids));
     table.row({"ascending_id", Table::num(st.early_mean),
                Table::num(st.max_step_mean),
                st.totals_exact ? "yes" : "NO"});
@@ -93,16 +95,16 @@ int main() {
   {
     auto rev = sorted_ids;
     std::reverse(rev.begin(), rev.end());
-    auto st = measure(pool, ids, kSeeds, fixed(rev));
+    auto st = measure(pool, ids, kSeeds, seed + 500, fixed(rev));
     table.row({"descending_id", Table::num(st.early_mean),
                Table::num(st.max_step_mean),
                st.totals_exact ? "yes" : "NO"});
   }
   {
-    auto perm = prims::random_permutation(ids.size(), 77);
+    auto perm = prims::random_permutation(ids.size(), seed + 77);
     std::vector<EdgeId> shuffled(ids.size());
     for (std::size_t i = 0; i < ids.size(); ++i) shuffled[i] = ids[perm[i]];
-    auto st = measure(pool, ids, kSeeds, fixed(shuffled));
+    auto st = measure(pool, ids, kSeeds, seed + 500, fixed(shuffled));
     table.row({"random", Table::num(st.early_mean),
                Table::num(st.max_step_mean),
                st.totals_exact ? "yes" : "NO"});
@@ -122,7 +124,7 @@ int main() {
       };
       return score(a) > score(b);
     });
-    auto st = measure(pool, ids, kSeeds, fixed(hubs));
+    auto st = measure(pool, ids, kSeeds, seed + 500, fixed(hubs));
     table.row({"hubs_first", Table::num(st.early_mean),
                Table::num(st.max_step_mean),
                st.totals_exact ? "yes" : "NO"});
@@ -138,7 +140,7 @@ int main() {
         if (!is_matched[e]) order.push_back(e);
       return order;
     };
-    auto st = measure(pool, ids, kSeeds, adaptive);
+    auto st = measure(pool, ids, kSeeds, seed + 500, adaptive);
     table.row({"matched_first*", Table::num(st.early_mean),
                Table::num(st.max_step_mean),
                st.totals_exact ? "yes" : "NO"});

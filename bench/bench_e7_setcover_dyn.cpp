@@ -39,16 +39,17 @@ setcover::ElementBatch random_system(SetId sets, std::size_t elements,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::uint64_t seed = seed_from_args(argc, argv);
   std::printf(
       "E7: batch-dynamic set cover under element churn (batch=512,\n"
       "    24576 elements over 4096 sets). Claim: cost bounded, ratio <= r.\n\n");
   Table table({"r", "us/update", "work/update", "final_cover",
                "lower_bound", "ratio"});
   for (std::size_t r : {2ul, 3ul, 4ul, 6ul}) {
-    setcover::DynamicSetCover cover(r, 17 + r);
-    auto system = random_system(4'096, 24'576, r, 29 + r);
-    Rng rng(31 + r);
+    setcover::DynamicSetCover cover(r, seed + 17 + r);
+    auto system = random_system(4'096, 24'576, r, seed + 29 + r);
+    Rng rng(seed + 31 + r);
     Timer timer;
     std::vector<ElementId> live;
     std::size_t updates = 0, cursor = 0;

@@ -37,7 +37,8 @@ setcover::ElementBatch random_system(SetId sets, std::size_t elements,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::uint64_t seed = seed_from_args(argc, argv);
   std::printf(
       "E8: static set cover, r=4. Claim: time linear in total cardinality\n"
       "    m' (us/m' flat), ratio <= r.\n\n");
@@ -45,10 +46,11 @@ int main() {
                "ratio"});
   const std::size_t r = 4;
   for (std::size_t m : {1ul << 14, 1ul << 16, 1ul << 18, 1ul << 20}) {
-    auto system = random_system(static_cast<SetId>(m / 8), m, r, m);
+    auto system =
+        random_system(static_cast<SetId>(m / 8), m, r, seed + m);
     std::size_t mprime = system.total_cardinality();
     Timer timer;
-    auto res = setcover::static_set_cover(system, r, 13);
+    auto res = setcover::static_set_cover(system, r, seed + 13);
     double secs = timer.elapsed();
     double ratio = res.matching_size == 0
                        ? 1.0

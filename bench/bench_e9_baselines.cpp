@@ -18,7 +18,8 @@
 using namespace parmatch;
 using namespace parmatch::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  std::uint64_t seed = seed_from_args(argc, argv);
   std::printf(
       "E9a: targeted teardown of one star (adversary tuned to folklore).\n"
       "     Claim: folklore cost grows linearly with degree; ours is flat.\n\n");
@@ -32,7 +33,9 @@ int main() {
       double updates = 2.0 * static_cast<double>(w.master.size());
       baseline::NaiveDynamicMatcher naive(2);
       double naive_secs = drive_workload(naive, w);
-      dyn::DynamicMatcher ours;
+      dyn::Config cfg;
+      cfg.seed = seed;
+      dyn::DynamicMatcher ours(cfg);
       double ours_secs = drive_workload(ours, w);
       table.row({Table::num(spokes),
                  Table::num(naive_secs * 1e6 / updates),
@@ -49,12 +52,14 @@ int main() {
   {
     Table table({"batch", "parmatch_us", "recompute_us", "ratio"});
     for (std::size_t batch : {64ul, 512ul, 4'096ul, 16'384ul, 49'152ul}) {
-      auto w = gen::churn(gen::erdos_renyi(16'384, 49'152, 3), batch, 0.5,
-                          71);
+      auto w = gen::churn(gen::erdos_renyi(16'384, 49'152, seed + 3), batch,
+                          0.5, seed + 71);
       double updates = static_cast<double>(w.total_updates());
-      dyn::DynamicMatcher ours;
+      dyn::Config cfg;
+      cfg.seed = seed;
+      dyn::DynamicMatcher ours(cfg);
       double ours_secs = drive_workload(ours, w);
-      baseline::RecomputeMatcher recompute(2, 5);
+      baseline::RecomputeMatcher recompute(2, seed + 5);
       double rec_secs = drive_workload(recompute, w);
       table.row({Table::num(batch),
                  Table::num(ours_secs * 1e6 / updates),

@@ -1,0 +1,105 @@
+// baseline/naive_dynamic.h -- the deterministic "folklore" per-edge dynamic
+// matcher (paper Section 1's strawman): first-come matching on insert, and
+// on deletion of a matched edge an eager scan of every freed vertex's
+// incidence list for a replacement. Correct and maximal, but it pays
+// Theta(degree) per matched deletion, and because its choices are
+// DETERMINISTIC an oblivious adversary can precompute them and delete
+// exactly the matched edges (baseline/targeted.h) -- the failure mode the
+// paper's random settling exists to prevent. E9a plots the gap.
+//
+// Complexity contract: insert O(r); delete O(r) unmatched, Theta(sum of
+// freed-vertex degrees) matched. edges_scanned() exposes the scan count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge.h"
+#include "graph/edge_batch.h"
+#include "graph/edge_pool.h"
+
+namespace parmatch::baseline {
+
+class NaiveDynamicMatcher {
+  using EdgeId = graph::EdgeId;
+  using VertexId = graph::VertexId;
+  static constexpr EdgeId kInvalid = graph::kInvalidEdge;
+
+ public:
+  explicit NaiveDynamicMatcher(std::size_t max_rank) : pool_(max_rank) {}
+
+  std::vector<EdgeId> insert_edges(const graph::EdgeBatch& batch) {
+    auto ids = pool_.add_edges(batch);
+    ensure_bounds();
+    for (EdgeId id : ids) {
+      for (VertexId v : pool_.vertices(id)) adj_[v].push_back(pool_.packed_ref(id));
+      try_match(id);
+    }
+    return ids;
+  }
+
+  void delete_edges(const std::vector<EdgeId>& ids) {
+    for (EdgeId id : ids) {
+      if (!pool_.live(id)) continue;
+      bool was_matched = taken_by_[pool_.vertices(id)[0]] == id;
+      std::vector<VertexId> freed;
+      if (was_matched)
+        for (VertexId v : pool_.vertices(id)) {
+          taken_by_[v] = kInvalid;
+          freed.push_back(v);
+        }
+      pool_.remove_edge(id);
+      // Eager repair: scan every freed vertex's full incidence list.
+      for (VertexId v : freed) rematch_scan(v);
+    }
+  }
+
+  std::vector<EdgeId> matching() const {
+    std::vector<EdgeId> out;
+    for (EdgeId id = 0; id < pool_.id_bound(); ++id)
+      if (pool_.live(id) && taken_by_[pool_.vertices(id)[0]] == id)
+        out.push_back(id);
+    return out;
+  }
+
+  std::size_t edges_scanned() const { return edges_scanned_; }
+  const graph::EdgePool& pool() const { return pool_; }
+
+ private:
+  void ensure_bounds() {
+    if (taken_by_.size() < pool_.vertex_bound()) {
+      taken_by_.resize(pool_.vertex_bound(), kInvalid);
+      adj_.resize(pool_.vertex_bound());
+    }
+  }
+
+  bool try_match(EdgeId id) {
+    for (VertexId v : pool_.vertices(id))
+      if (taken_by_[v] != kInvalid) return false;
+    for (VertexId v : pool_.vertices(id)) taken_by_[v] = id;
+    return true;
+  }
+
+  void rematch_scan(VertexId v) {
+    if (taken_by_[v] != kInvalid) return;
+    auto& list = adj_[v];
+    std::size_t kept = 0;
+    bool matched = false;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      std::uint64_t entry = list[i];
+      if (!pool_.ref_valid(entry)) continue;
+      list[kept++] = entry;
+      ++edges_scanned_;
+      if (!matched) matched = try_match(graph::EdgePool::ref_id(entry));
+    }
+    list.resize(kept);
+  }
+
+  graph::EdgePool pool_;
+  std::vector<EdgeId> taken_by_;
+  std::vector<std::vector<std::uint64_t>> adj_;
+  std::size_t edges_scanned_ = 0;
+};
+
+}  // namespace parmatch::baseline

@@ -1,0 +1,60 @@
+// baseline/targeted.h -- the oblivious adversary of E9a/E10: precompute the
+// deterministic folklore matcher's choices (baseline/naive_dynamic.h) on a
+// known edge sequence, then emit a workload that inserts everything and
+// deletes the folklore-matched edges first, one per step, followed by the
+// rest in insertion order. The order is fixed before any matcher runs, so
+// it is legal under the paper's oblivious-adversary model -- yet it forces
+// folklore into a rematch scan on essentially every deletion, while a
+// random-settling matcher is hit with probability ~1/degree per step
+// (Lemma 3.3).
+//
+// Complexity contract: O(m') to build (one simulated first-come pass).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gen/workloads.h"
+#include "graph/edge.h"
+#include "graph/edge_batch.h"
+
+namespace parmatch::baseline {
+
+inline gen::Workload targeted_teardown(graph::EdgeBatch base) {
+  gen::Workload w;
+  w.master = std::move(base);
+  std::size_t m = w.master.size();
+  if (m == 0) return w;
+
+  // Simulate first-come matching over the insertion order.
+  graph::VertexId vb = w.master.vertex_bound();
+  std::vector<std::uint8_t> taken(vb, 0);
+  std::vector<std::uint8_t> is_matched(m, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    bool free_all = true;
+    for (graph::VertexId v : w.master.edge(i)) free_all = free_all && !taken[v];
+    if (!free_all) continue;
+    for (graph::VertexId v : w.master.edge(i)) taken[v] = 1;
+    is_matched[i] = 1;
+  }
+
+  gen::Step insert_all;
+  insert_all.is_insert = true;
+  for (std::size_t i = 0; i < m; ++i) insert_all.edges.push_back(i);
+  w.steps.push_back(std::move(insert_all));
+
+  auto delete_one = [&w](std::size_t i) {
+    gen::Step s;
+    s.is_insert = false;
+    s.edges.push_back(i);
+    w.steps.push_back(std::move(s));
+  };
+  for (std::size_t i = 0; i < m; ++i)
+    if (is_matched[i]) delete_one(i);
+  for (std::size_t i = 0; i < m; ++i)
+    if (!is_matched[i]) delete_one(i);
+  return w;
+}
+
+}  // namespace parmatch::baseline

@@ -1,0 +1,148 @@
+// containers/flat_hash_map.h -- open-addressing hash map companion to
+// flat_hash_set (DESIGN.md S5): linear probing, power-of-two capacity,
+// tombstone deletion, keys in one flat array and values in another so
+// probing touches only key cache lines.
+//
+// Complexity contract: expected O(1) insert/find/erase at load <= 0.7.
+// Key restrictions: unsigned integral keys; top two key values reserved.
+// Values must be movable. Sequential-use container: the phase-concurrent
+// batch entry points live on flat_hash_set, which is what the matcher's
+// parallel phases key on.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace parmatch::ct {
+
+template <typename K, typename V>
+class flat_hash_map {
+  static_assert(std::is_unsigned_v<K>, "keys must be unsigned integers");
+
+ public:
+  static constexpr K kEmpty = std::numeric_limits<K>::max();
+  static constexpr K kTomb = std::numeric_limits<K>::max() - 1;
+
+  flat_hash_map() { rehash(kMinCapacity); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void reserve(std::size_t n) {
+    std::size_t want = capacity_for(n);
+    if (want > keys_.size()) rehash(want);
+  }
+
+  // Inserts or overwrites; returns true if the key was new.
+  bool insert(K key, V value) {
+    assert(key < kTomb);
+    maybe_grow();
+    std::size_t i = probe_start(key);
+    std::size_t first_tomb = kNoSlot;
+    for (;; i = next(i)) {
+      K s = keys_[i];
+      if (s == key) {
+        vals_[i] = std::move(value);
+        return false;
+      }
+      if (s == kTomb && first_tomb == kNoSlot) first_tomb = i;
+      if (s == kEmpty) {
+        std::size_t at = first_tomb != kNoSlot ? first_tomb : i;
+        if (first_tomb == kNoSlot) ++used_;
+        keys_[at] = key;
+        vals_[at] = std::move(value);
+        ++size_;
+        return true;
+      }
+    }
+  }
+
+  V* find(K key) {
+    std::size_t i = find_slot(key);
+    return i == kNoSlot ? nullptr : &vals_[i];
+  }
+  const V* find(K key) const {
+    std::size_t i = find_slot(key);
+    return i == kNoSlot ? nullptr : &vals_[i];
+  }
+
+  bool erase(K key) {
+    std::size_t i = find_slot(key);
+    if (i == kNoSlot) return false;
+    keys_[i] = kTomb;
+    vals_[i] = V{};
+    --size_;
+    return true;
+  }
+
+  // f(key, value&) over every live entry, slot order.
+  template <typename F>
+  void for_each(F&& f) {
+    for (std::size_t i = 0; i < keys_.size(); ++i)
+      if (keys_[i] < kTomb) f(keys_[i], vals_[i]);
+  }
+
+  void clear() {
+    std::fill(keys_.begin(), keys_.end(), kEmpty);
+    std::fill(vals_.begin(), vals_.end(), V{});
+    size_ = used_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+  static constexpr std::size_t kNoSlot = ~static_cast<std::size_t>(0);
+
+  static std::size_t capacity_for(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (cap * 7 / 10 < n) cap <<= 1;
+    return cap;
+  }
+
+  std::size_t probe_start(K key) const {
+    return static_cast<std::size_t>(
+               parmatch::hash64(0xD1B54A32D192ED03ull, key)) &
+           (keys_.size() - 1);
+  }
+  std::size_t next(std::size_t i) const { return (i + 1) & (keys_.size() - 1); }
+
+  std::size_t find_slot(K key) const {
+    for (std::size_t i = probe_start(key);; i = next(i)) {
+      K s = keys_[i];
+      if (s == key) return i;
+      if (s == kEmpty) return kNoSlot;
+    }
+  }
+
+  void maybe_grow() {
+    if ((used_ + 1) * 10 >= keys_.size() * 7) rehash(capacity_for(size_ + 1));
+  }
+
+  void rehash(std::size_t new_cap) {
+    std::vector<K> old_keys = std::move(keys_);
+    std::vector<V> old_vals = std::move(vals_);
+    keys_.assign(new_cap, kEmpty);
+    vals_.assign(new_cap, V{});
+    used_ = size_;
+    for (std::size_t i = 0; i < old_keys.size(); ++i)
+      if (old_keys[i] < kTomb) {
+        std::size_t j = probe_start(old_keys[i]);
+        while (keys_[j] != kEmpty) j = next(j);
+        keys_[j] = old_keys[i];
+        vals_[j] = std::move(old_vals[i]);
+      }
+  }
+
+  std::vector<K> keys_;
+  std::vector<V> vals_;
+  std::size_t size_ = 0;
+  std::size_t used_ = 0;
+};
+
+}  // namespace parmatch::ct

@@ -1,0 +1,210 @@
+// containers/flat_hash_set.h -- phase-concurrent open-addressing hash set
+// (DESIGN.md S5). The paper's Section 2 charges O(1) expected per dictionary
+// operation and allows whole batches of same-kind operations to run in
+// parallel; this set delivers that with linear probing over a power-of-two
+// table, CAS slot claiming during batch_insert, and tombstones for erase.
+//
+// "Phase-concurrent" contract (Shun & Blelloch): operations of the SAME
+// kind may run concurrently (batch_insert uses CAS claiming; batch_erase
+// writes tombstones with plain atomics); mixing kinds concurrently is not
+// supported -- the callers here never do.
+//
+// Complexity contract: expected O(1) per op at load factor <= 0.7; rehash
+// amortized O(1); elements() is O(capacity) and deterministic (slot order).
+// Key restrictions: unsigned integral keys; the top two values of the key
+// space are reserved as empty/tombstone sentinels.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+#include "prims/filter.h"
+#include "util/rng.h"
+
+namespace parmatch::ct {
+
+template <typename K>
+class flat_hash_set {
+  static_assert(std::is_unsigned_v<K>, "keys must be unsigned integers");
+
+ public:
+  static constexpr K kEmpty = std::numeric_limits<K>::max();
+  static constexpr K kTomb = std::numeric_limits<K>::max() - 1;
+
+  flat_hash_set() { rehash(kMinCapacity); }
+
+  void reserve(std::size_t n) {
+    std::size_t want = capacity_for(n);
+    if (want > slots_.size()) rehash(want);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool insert(K key) {
+    assert(key < kTomb);
+    maybe_grow(1);
+    std::size_t i = probe_start(key);
+    std::size_t first_tomb = kNoSlot;
+    for (;; i = next(i)) {
+      K s = slots_[i];
+      if (s == key) return false;
+      if (s == kTomb && first_tomb == kNoSlot) first_tomb = i;
+      if (s == kEmpty) {
+        std::size_t at = first_tomb != kNoSlot ? first_tomb : i;
+        if (first_tomb == kNoSlot) ++used_;
+        slots_[at] = key;
+        ++size_;
+        return true;
+      }
+    }
+  }
+
+  bool erase(K key) {
+    std::size_t i = find_slot(key);
+    if (i == kNoSlot) return false;
+    slots_[i] = kTomb;
+    --size_;
+    return true;
+  }
+
+  bool contains(K key) const { return find_slot(key) != kNoSlot; }
+
+  // Parallel batch insert; duplicate keys (within the batch or vs the table)
+  // insert once. Phase-concurrent: CAS claims empty slots.
+  void batch_insert(std::span<const K> keys) {
+    maybe_grow(keys.size());
+    std::atomic<std::size_t> added{0}, claimed{0};
+    parallel::parallel_for_blocked(0, keys.size(), [&](std::size_t b,
+                                                       std::size_t e) {
+      std::size_t local_added = 0, local_claimed = 0;
+      for (std::size_t j = b; j < e; ++j) {
+        K key = keys[j];
+        assert(key < kTomb);
+        std::size_t i = probe_start(key);
+        for (;;) {
+          K s = std::atomic_ref<K>(slots_[i]).load(std::memory_order_acquire);
+          if (s == key) break;
+          if (s == kEmpty) {
+            K expected = kEmpty;
+            if (std::atomic_ref<K>(slots_[i]).compare_exchange_strong(
+                    expected, key, std::memory_order_acq_rel)) {
+              ++local_added;
+              ++local_claimed;
+              break;
+            }
+            if (expected == key) break;
+            continue;  // lost the race to another key; re-read this slot
+          }
+          i = next(i);  // occupied or tombstone: probing skips both
+        }
+      }
+      added.fetch_add(local_added, std::memory_order_relaxed);
+      claimed.fetch_add(local_claimed, std::memory_order_relaxed);
+    });
+    size_ += added.load();
+    used_ += claimed.load();
+  }
+
+  void batch_insert(const std::vector<K>& keys) {
+    batch_insert(std::span<const K>(keys));
+  }
+
+  // Parallel batch erase; keys absent from the table are ignored. Writes
+  // tombstones so concurrent probes of other keys stay correct.
+  void batch_erase(std::span<const K> keys) {
+    std::atomic<std::size_t> removed{0};
+    parallel::parallel_for_blocked(0, keys.size(), [&](std::size_t b,
+                                                       std::size_t e) {
+      std::size_t local = 0;
+      for (std::size_t j = b; j < e; ++j) {
+        K key = keys[j];
+        std::size_t i = probe_start(key);
+        for (;;) {
+          K s = std::atomic_ref<K>(slots_[i]).load(std::memory_order_acquire);
+          if (s == kEmpty) break;
+          if (s == key) {
+            K expected = key;
+            if (std::atomic_ref<K>(slots_[i]).compare_exchange_strong(
+                    expected, kTomb, std::memory_order_acq_rel))
+              ++local;
+            break;  // someone erased it first; either way it is gone
+          }
+          i = next(i);
+        }
+      }
+      removed.fetch_add(local, std::memory_order_relaxed);
+    });
+    size_ -= removed.load();
+  }
+
+  void batch_erase(const std::vector<K>& keys) {
+    batch_erase(std::span<const K>(keys));
+  }
+
+  // All elements, in slot order (deterministic for a given history).
+  std::vector<K> elements() const {
+    return prims::filter(std::span<const K>(slots_),
+                         [](K s) { return s < kTomb; });
+  }
+
+  void clear() {
+    std::fill(slots_.begin(), slots_.end(), kEmpty);
+    size_ = used_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+  static constexpr std::size_t kNoSlot = ~static_cast<std::size_t>(0);
+
+  static std::size_t capacity_for(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (cap * 7 / 10 < n) cap <<= 1;
+    return cap;
+  }
+
+  std::size_t probe_start(K key) const {
+    return static_cast<std::size_t>(
+               parmatch::hash64(0x9E3779B97F4A7C15ull, key)) &
+           (slots_.size() - 1);
+  }
+  std::size_t next(std::size_t i) const { return (i + 1) & (slots_.size() - 1); }
+
+  std::size_t find_slot(K key) const {
+    for (std::size_t i = probe_start(key);; i = next(i)) {
+      K s = slots_[i];
+      if (s == key) return i;
+      if (s == kEmpty) return kNoSlot;
+    }
+  }
+
+  void maybe_grow(std::size_t incoming) {
+    if ((used_ + incoming) * 10 >= slots_.size() * 7)
+      rehash(capacity_for(size_ + incoming));
+  }
+
+  void rehash(std::size_t new_cap) {
+    std::vector<K> old = std::move(slots_);
+    slots_.assign(new_cap, kEmpty);
+    used_ = size_;
+    for (K s : old)
+      if (s < kTomb) {
+        std::size_t i = probe_start(s);
+        while (slots_[i] != kEmpty) i = next(i);
+        slots_[i] = s;
+      }
+  }
+
+  std::vector<K> slots_;
+  std::size_t size_ = 0;  // live keys
+  std::size_t used_ = 0;  // live keys + slots lost to tombstones
+};
+
+}  // namespace parmatch::ct

@@ -1,0 +1,319 @@
+// dyn/dynamic_matcher.h -- the paper's parallel batch-dynamic maximal
+// matching structure (Sections 4-5): O(1) amortized work per update at rank
+// 2 (O(r^3) general, Theorem 1.1) against an oblivious adversary, with
+// O(log^3 m) depth per batch whp.
+//
+// The structure maintains, per vertex, a lazily compacted incidence list,
+// and per live edge a random priority (its "sample"). Invariant after every
+// batch: the matched set is maximal. The three mechanisms that make the
+// amortized bound work:
+//
+//  * randomSettle (Section 4): when deletions free the vertices of a
+//    matched edge, each freed vertex samples a uniformly random free
+//    incident edge and the sampled edges run one claim round of
+//    random-priority greedy; losers resample next round. Because the new
+//    match is uniform over ~d candidates, an oblivious adversary needs ~d
+//    more deletions in the neighborhood before it hits it, which pays for
+//    the O(d) rescan (Lemma 3.3's 2-coins-per-early-delete argument --
+//    matching/price_audit.h replays the static version of the accounting).
+//
+//  * levels with gap alpha = Config::level_gap (Section 5): a match settled
+//    when its neighborhood had size s gets level floor(log_alpha s), i.e.
+//    the size is remembered only up to the gap. If inserts grow the
+//    neighborhood past Config::heavy_factor * alpha^(level+1), the match is
+//    "bloated": its sample is stale relative to the neighborhood, so it is
+//    resettled (unmatched + resampled) to restore the randomness the
+//    adversary argument needs. Config::light_only disables levels, bloat
+//    tracking and resampling (footnote 8's "treat everything as light"
+//    variant): still maximal, but settling becomes deterministic and the
+//    adversarial benches show the work blowup.
+//
+//  * steal on insert: a batch-inserted edge whose priority beats the
+//    priority of every matched edge on its taken vertices displaces them
+//    (stats.stolen) and the freed vertices resettle. This keeps the
+//    matching close to the greedy fixed point for the current samples, so
+//    insertions cannot park adversarially useful edges behind stale
+//    matches.
+//
+// Complexity contract per batch of k updates: expected O(k * r^3) amortized
+// work, O(log^3 m) depth whp (settle rounds x greedy claim rounds x O(log)
+// primitives); lazy incidence compaction charges each dead entry once to
+// the deletion that killed it.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge.h"
+#include "graph/edge_batch.h"
+#include "graph/edge_pool.h"
+#include "dyn/stats.h"
+#include "matching/parallel_greedy.h"
+#include "prims/filter.h"
+#include "util/rng.h"
+
+namespace parmatch::dyn {
+
+struct Config {
+  std::uint64_t seed = 1;
+  std::size_t max_rank = 2;      // r: maximum hyperedge rank accepted
+  std::size_t level_gap = 2;     // alpha: geometric gap between levels
+  std::size_t heavy_factor = 4;  // resettle when growth exceeds this times
+                                 // the level-quantized settle size
+  bool light_only = false;       // footnote-8 ablation: no levels/resampling
+};
+
+class DynamicMatcher {
+  using EdgeId = graph::EdgeId;
+  using VertexId = graph::VertexId;
+  static constexpr EdgeId kInvalid = graph::kInvalidEdge;
+
+ public:
+  DynamicMatcher() : DynamicMatcher(Config{}) {}
+  explicit DynamicMatcher(const Config& cfg)
+      : cfg_(cfg), pool_(cfg.max_rank), rng_(cfg.seed ^ 0xA02B'DBF7'BB3C'0A7ull) {}
+
+  // Inserts a batch; returns the id assigned to each edge, batch order.
+  std::vector<EdgeId> insert_edges(const graph::EdgeBatch& batch) {
+    batch_ = BatchStats{};
+    auto ids = pool_.add_edges(batch);
+    ensure_bounds();
+    stats_.inserts += ids.size();
+    stats_.work_units += batch.total_cardinality();
+
+    std::vector<EdgeId> candidates;
+    std::vector<VertexId> freed;
+    std::vector<EdgeId> bloated;
+    for (EdgeId id : ids) {
+      pri_[id] = rng_.next();
+      ++stats_.samples_created;
+      bool all_free = true;
+      for (VertexId v : pool_.vertices(id)) {
+        adj_[v].push_back(pool_.packed_ref(id));
+        ++live_deg_[v];
+        EdgeId t = taken_by_[v];
+        if (t == kInvalid) continue;
+        all_free = false;
+        // The neighborhood of match t grew; check the level bound.
+        if (!cfg_.light_only && ++growth_[t] == threshold_[t] + 1)
+          bloated.push_back(t);
+      }
+      if (all_free) {
+        candidates.push_back(id);
+        continue;
+      }
+      // Steal: this edge's sample beats every match it touches.
+      bool steal = true;
+      for (VertexId v : pool_.vertices(id)) {
+        EdgeId t = taken_by_[v];
+        if (t != kInvalid && t != id &&
+            !matching::detail::beats(pri_[id], id, pri_[t], t))
+          steal = false;
+      }
+      if (steal) {
+        for (VertexId v : pool_.vertices(id)) {
+          EdgeId t = taken_by_[v];
+          if (t != kInvalid && t != id) unmatch(t, freed);
+        }
+        commit_match(id);
+        ++stats_.stolen;
+      }
+    }
+    for (EdgeId b : bloated) {
+      if (taken_by_[pool_.vertices(b)[0]] != b) continue;  // already displaced
+      ++stats_.bloated;
+      // Resettle through the random-sampling path (not run_greedy with the
+      // stale sample): the whole point is a fresh draw over the grown
+      // neighborhood, so the freed vertices go through settle() below.
+      unmatch(b, freed);
+    }
+
+    run_greedy(std::move(candidates));
+    settle(std::move(freed));
+    return ids;
+  }
+
+  // Deletes previously returned ids (each must be live).
+  void delete_edges(const std::vector<EdgeId>& ids) {
+    batch_ = BatchStats{};
+    stats_.deletes += ids.size();
+    std::vector<VertexId> freed;
+    for (EdgeId id : ids) {
+      if (!pool_.live(id)) continue;
+      stats_.work_units += pool_.rank(id);
+      if (taken_by_[pool_.vertices(id)[0]] == id) unmatch(id, freed);
+      for (VertexId v : pool_.vertices(id)) --live_deg_[v];
+      pool_.remove_edge(id);
+    }
+    settle(std::move(freed));
+  }
+
+  // The current matching (ascending ids). O(id_bound).
+  std::vector<EdgeId> matching() const {
+    std::vector<EdgeId> out;
+    out.reserve(matched_count_);
+    for (EdgeId id = 0; id < pool_.id_bound(); ++id)
+      if (pool_.live(id) && taken_by_[pool_.vertices(id)[0]] == id)
+        out.push_back(id);
+    return out;
+  }
+
+  bool is_matched(EdgeId id) const {
+    return pool_.live(id) && taken_by_[pool_.vertices(id)[0]] == id;
+  }
+
+  std::size_t matched_count() const { return matched_count_; }
+  const graph::EdgePool& pool() const { return pool_; }
+  const Config& config() const { return cfg_; }
+  const CumulativeStats& cumulative_stats() const { return stats_; }
+  const BatchStats& last_batch_stats() const { return batch_; }
+
+ private:
+  // ---- id/vertex array maintenance -------------------------------------
+
+  void ensure_bounds() {
+    std::size_t ib = pool_.id_bound();
+    if (pri_.size() < ib) {
+      pri_.resize(ib, 0);
+      growth_.resize(ib, 0);
+      threshold_.resize(ib, 0);
+      settle_size_.resize(ib, 0);
+    }
+    std::size_t vb = pool_.vertex_bound();
+    if (taken_by_.size() < vb) {
+      taken_by_.resize(vb, kInvalid);
+      min_edge_.resize(vb, kInvalid);
+      live_deg_.resize(vb, 0);
+      adj_.resize(vb);
+    }
+  }
+
+  // ---- match bookkeeping ----------------------------------------------
+
+  void commit_match(EdgeId e) {
+    std::size_t nbhd = 0;
+    for (VertexId v : pool_.vertices(e)) {
+      taken_by_[v] = e;
+      nbhd += live_deg_[v];
+    }
+    ++matched_count_;
+    growth_[e] = 0;
+    settle_size_[e] = static_cast<std::uint32_t>(nbhd);
+    // Level quantization: remember the settle size only up to the gap.
+    std::uint64_t gap = cfg_.level_gap < 2 ? 2 : cfg_.level_gap;
+    std::uint64_t cap = gap;
+    while (cap < nbhd) cap *= gap;
+    threshold_[e] = cfg_.heavy_factor * cap;
+  }
+
+  void unmatch(EdgeId e, std::vector<VertexId>& freed) {
+    for (VertexId v : pool_.vertices(e)) {
+      if (taken_by_[v] == e) {
+        taken_by_[v] = kInvalid;
+        freed.push_back(v);
+      }
+    }
+    --matched_count_;
+  }
+
+  bool all_endpoints_free(EdgeId e) const {
+    for (VertexId v : pool_.vertices(e))
+      if (taken_by_[v] != kInvalid) return false;
+    return true;
+  }
+
+  // ---- greedy over a candidate set ------------------------------------
+
+  void run_greedy(std::vector<EdgeId> candidates) {
+    if (candidates.empty()) return;
+    candidates = prims::filter(std::span<const EdgeId>(candidates),
+                               [&](EdgeId e) { return all_endpoints_free(e); });
+    if (candidates.empty()) return;
+    std::vector<EdgeId> matched;
+    std::size_t rounds = matching::greedy_match_rounds(
+        pool_, std::move(candidates), [&](EdgeId e) { return pri_[e]; },
+        taken_by_, min_edge_, &matched, &stats_.work_units);
+    if (rounds > batch_.max_greedy_rounds) batch_.max_greedy_rounds = rounds;
+    for (EdgeId e : matched) commit_match(e);
+  }
+
+  // ---- randomSettle (Section 4) ---------------------------------------
+
+  // Compacts adj_[v] (each dead entry is dropped exactly once) and returns
+  // one settle candidate: a uniformly random free incident edge (or the
+  // minimum-priority one under light_only). work_units charges the scan.
+  EdgeId sample_candidate(VertexId v) {
+    auto& list = adj_[v];
+    std::size_t kept = 0, seen = 0;
+    EdgeId pick = kInvalid;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      std::uint64_t entry = list[i];
+      if (!pool_.ref_valid(entry)) continue;  // stale: compact it away
+      list[kept++] = entry;
+      EdgeId e = graph::EdgePool::ref_id(entry);
+      if (!all_endpoints_free(e)) continue;
+      ++seen;
+      if (cfg_.light_only) {
+        if (pick == kInvalid ||
+            matching::detail::beats(pri_[e], e, pri_[pick], pick))
+          pick = e;
+      } else if (rng_.next_below(seen) == 0) {
+        pick = e;
+      }
+    }
+    stats_.work_units += list.size();
+    list.resize(kept);
+    return pick;
+  }
+
+  void settle(std::vector<VertexId> freed) {
+    if (freed.empty()) return;
+    for (;;) {
+      // Pending: still-free vertices from the freed set.
+      std::vector<EdgeId> sampled;
+      std::vector<VertexId> still_pending;
+      for (VertexId v : freed) {
+        if (taken_by_[v] != kInvalid) continue;
+        EdgeId c = sample_candidate(v);
+        if (c == kInvalid) continue;  // no free incident edge: settled free
+        still_pending.push_back(v);
+        if (!cfg_.light_only) {
+          pri_[c] = rng_.next();  // fresh sample (the lazy machinery's coin)
+          ++stats_.samples_created;
+        }
+        sampled.push_back(c);
+      }
+      if (sampled.empty()) return;
+      // Two freed vertices may sample the same edge; run it once.
+      std::sort(sampled.begin(), sampled.end());
+      sampled.erase(std::unique(sampled.begin(), sampled.end()),
+                    sampled.end());
+      ++stats_.settle_rounds;
+      ++batch_.settle_rounds;
+      run_greedy(std::move(sampled));
+      freed = std::move(still_pending);
+    }
+  }
+
+  Config cfg_;
+  graph::EdgePool pool_;
+  Rng rng_;
+  CumulativeStats stats_;
+  BatchStats batch_;
+
+  std::vector<std::uint64_t> pri_;          // id -> current sample
+  std::vector<std::uint32_t> growth_;       // id -> inserts since settle
+  std::vector<std::uint64_t> threshold_;    // id -> bloat threshold
+  std::vector<std::uint32_t> settle_size_;  // id -> neighborhood @ settle
+  std::vector<EdgeId> taken_by_;            // vertex -> its match
+  std::vector<EdgeId> min_edge_;            // vertex scratch for claiming
+  std::vector<std::uint32_t> live_deg_;     // vertex -> live incident edges
+  std::vector<std::vector<std::uint64_t>> adj_;  // vertex -> (gen, id) packed
+  std::size_t matched_count_ = 0;
+};
+
+}  // namespace parmatch::dyn

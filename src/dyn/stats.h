@@ -1,0 +1,32 @@
+// dyn/stats.h -- observable counters for the batch-dynamic matcher. These
+// are the proxies the experiment harnesses (DESIGN.md Section 4) read:
+// E1/E2 divide work_units and samples_created by total_updates() to check
+// the amortized O(1) / O(r^3) claims, E3 reads settle_rounds and
+// max_greedy_rounds as depth proxies, E10 reads stolen/bloated to show the
+// lazy machinery engaging.
+#pragma once
+
+#include <cstddef>
+
+namespace parmatch::dyn {
+
+struct CumulativeStats {
+  std::size_t inserts = 0;          // edges inserted
+  std::size_t deletes = 0;          // edges deleted
+  std::size_t work_units = 0;       // edges touched across all phases
+  std::size_t samples_created = 0;  // random priorities drawn
+  std::size_t settle_rounds = 0;    // randomSettle rounds, all batches
+  std::size_t stolen = 0;           // matches displaced by a lower-priority
+                                    // inserted edge (greedy-order repair)
+  std::size_t bloated = 0;          // matches resettled because their
+                                    // neighborhood outgrew the level bound
+
+  std::size_t total_updates() const { return inserts + deletes; }
+};
+
+struct BatchStats {
+  std::size_t settle_rounds = 0;      // randomSettle rounds this batch
+  std::size_t max_greedy_rounds = 0;  // deepest greedy invocation this batch
+};
+
+}  // namespace parmatch::dyn

@@ -1,0 +1,100 @@
+// gen/generators.h -- graph instance generators for the experiment
+// harnesses (DESIGN.md Section 4). All are deterministic in their seed and
+// O(output) work:
+//
+//  * erdos_renyi(n, m, seed)          -- m uniform rank-2 edges, no self
+//                                        loops (parallel edges allowed);
+//  * random_hypergraph(n, m, r, seed) -- m hyperedges of exactly r distinct
+//                                        vertices (the Theorem 1.1 regime);
+//  * hub_graph(hubs, spokes)          -- `hubs` disjoint stars with `spokes`
+//                                        leaves each: the degree-skewed
+//                                        shape that forces the settle path;
+//  * rmat(scale, m, seed)             -- Chakrabarti-Zhan-Faloutsos R-MAT
+//                                        (a=.57 b=.19 c=.19 d=.05), the
+//                                        power-law shape of E10.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge.h"
+#include "graph/edge_batch.h"
+#include "util/rng.h"
+
+namespace parmatch::gen {
+
+inline graph::EdgeBatch erdos_renyi(graph::VertexId n, std::size_t m,
+                                    std::uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
+  graph::EdgeBatch b;
+  for (std::size_t i = 0; i < m; ++i) {
+    auto u = static_cast<graph::VertexId>(rng.next_below(n));
+    auto v = static_cast<graph::VertexId>(rng.next_below(n));
+    while (v == u) v = static_cast<graph::VertexId>(rng.next_below(n));
+    b.add({u, v});
+  }
+  return b;
+}
+
+inline graph::EdgeBatch random_hypergraph(graph::VertexId n, std::size_t m,
+                                          std::size_t r, std::uint64_t seed) {
+  Rng rng(seed * 0xBF58476D1CE4E5B9ull + 1);
+  graph::EdgeBatch b;
+  std::vector<graph::VertexId> picks;
+  for (std::size_t i = 0; i < m; ++i) {
+    picks.clear();
+    while (picks.size() < r) {
+      auto v = static_cast<graph::VertexId>(rng.next_below(n));
+      bool dup = false;
+      for (graph::VertexId p : picks) dup = dup || p == v;
+      if (!dup) picks.push_back(v);
+    }
+    b.add(std::span<const graph::VertexId>(picks));
+  }
+  return b;
+}
+
+// `hubs` disjoint stars: hub i is vertex i; its spokes are vertices
+// hubs + i*spokes .. hubs + (i+1)*spokes - 1.
+inline graph::EdgeBatch hub_graph(std::size_t hubs, graph::VertexId spokes) {
+  graph::EdgeBatch b;
+  for (std::size_t h = 0; h < hubs; ++h) {
+    auto hub = static_cast<graph::VertexId>(h);
+    for (graph::VertexId s = 0; s < spokes; ++s) {
+      auto leaf = static_cast<graph::VertexId>(hubs + h * spokes + s);
+      b.add({hub, leaf});
+    }
+  }
+  return b;
+}
+
+inline graph::EdgeBatch rmat(std::size_t scale, std::size_t m,
+                             std::uint64_t seed) {
+  Rng rng(seed * 0x94D049BB133111EBull + 1);
+  graph::EdgeBatch b;
+  while (b.size() < m) {
+    graph::VertexId u = 0, v = 0;
+    for (std::size_t bit = 0; bit < scale; ++bit) {
+      double p = rng.next_double();
+      u <<= 1;
+      v <<= 1;
+      if (p < 0.57) {
+        // upper-left: nothing set
+      } else if (p < 0.76) {
+        v |= 1;
+      } else if (p < 0.95) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    b.add({u, v});
+  }
+  return b;
+}
+
+}  // namespace parmatch::gen

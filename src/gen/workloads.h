@@ -1,0 +1,134 @@
+// gen/workloads.h -- update-sequence scripts for the experiment harnesses
+// (DESIGN.md Section 4). A Workload is a master EdgeBatch plus a list of
+// steps over master INDICES (not pool ids): an insert step names which
+// master edges enter; a delete step names master edges that must currently
+// be live. bench_common.h's drive_workload maps indices to the ids the
+// matcher under test returned -- the same script replays bit-identically
+// against every matcher, which is what makes the baseline comparisons fair.
+//
+// Scripts are oblivious: they are fully determined by (master, seed) before
+// the matcher draws a single sample -- the adversary model of Theorem 1.1.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/edge_batch.h"
+#include "util/rng.h"
+
+namespace parmatch::gen {
+
+struct Step {
+  bool is_insert = true;
+  std::vector<std::size_t> edges;  // indices into Workload::master
+};
+
+struct Workload {
+  graph::EdgeBatch master;
+  std::vector<Step> steps;
+
+  std::size_t total_updates() const {
+    std::size_t n = 0;
+    for (const Step& s : steps) n += s.edges.size();
+    return n;
+  }
+};
+
+// Sustained churn: batches of size `batch`, each an insert batch with
+// probability p_insert (taking not-currently-live master edges, recycling
+// deletions) or a delete batch of uniformly random live edges. Runs for
+// ~3x master.size() updates, so every row of E1/E2 amortizes over multiple
+// generations of the structure.
+inline Workload churn(graph::EdgeBatch base, std::size_t batch,
+                      double p_insert, std::uint64_t seed) {
+  Workload w;
+  w.master = std::move(base);
+  std::size_t m = w.master.size();
+  if (m == 0 || batch == 0) return w;
+  Rng rng(seed * 0x2545F4914F6CDD1Dull + 1);
+
+  std::vector<std::size_t> available(m);
+  for (std::size_t i = 0; i < m; ++i) available[i] = i;
+  // Random first-insertion order.
+  for (std::size_t i = m; i > 1; --i) {
+    std::size_t j = rng.next_below(i);
+    std::swap(available[i - 1], available[j]);
+  }
+  std::vector<std::size_t> live;
+  live.reserve(m);
+
+  std::size_t budget = 3 * m;
+  std::size_t updates = 0;
+  while (updates < budget) {
+    bool do_insert = rng.next_double() < p_insert;
+    if (live.size() < batch) do_insert = true;  // prefer inserts when thin...
+    if (available.empty()) do_insert = false;   // ...but never insert nothing
+    // (with batch > m everything can be live AND below batch size: the
+    // delete path still makes progress because deletions recycle into
+    // `available`; an empty step here would loop forever)
+    Step step;
+    step.is_insert = do_insert;
+    if (do_insert) {
+      std::size_t k = std::min(batch, available.size());
+      for (std::size_t i = 0; i < k; ++i) {
+        step.edges.push_back(available.back());
+        available.pop_back();
+      }
+      live.insert(live.end(), step.edges.begin(), step.edges.end());
+    } else {
+      std::size_t k = std::min(batch, live.size());
+      for (std::size_t i = 0; i < k; ++i) {
+        std::size_t j = rng.next_below(live.size());
+        std::swap(live[j], live.back());
+        step.edges.push_back(live.back());
+        live.pop_back();
+      }
+      available.insert(available.end(), step.edges.begin(), step.edges.end());
+    }
+    updates += step.edges.size();
+    w.steps.push_back(std::move(step));
+  }
+  return w;
+}
+
+// Streams the master edges through a window of `window` batches: insert
+// batch i, and once the window is full delete batch i-window, then drain.
+// Matched edges keep dying while total degree stays high -- the sustained
+// settle workload of E10.
+inline Workload sliding_window(graph::EdgeBatch base, std::size_t batch,
+                               std::size_t window) {
+  Workload w;
+  w.master = std::move(base);
+  std::size_t m = w.master.size();
+  if (m == 0 || batch == 0) return w;
+  if (window == 0) window = 1;  // window 0 would delete batches pre-insert
+  std::size_t nbatches = (m + batch - 1) / batch;
+  auto batch_indices = [&](std::size_t b) {
+    Step s;
+    for (std::size_t i = b * batch; i < std::min(m, (b + 1) * batch); ++i)
+      s.edges.push_back(i);
+    return s;
+  };
+  for (std::size_t b = 0; b < nbatches; ++b) {
+    Step ins = batch_indices(b);
+    ins.is_insert = true;
+    w.steps.push_back(std::move(ins));
+    if (b + 1 >= window) {
+      Step del = batch_indices(b + 1 - window);
+      del.is_insert = false;
+      w.steps.push_back(std::move(del));
+    }
+  }
+  for (std::size_t b = nbatches + 1 > window ? nbatches + 1 - window : 0;
+       b < nbatches; ++b) {
+    Step del = batch_indices(b);
+    del.is_insert = false;
+    w.steps.push_back(std::move(del));
+  }
+  return w;
+}
+
+}  // namespace parmatch::gen

@@ -1,0 +1,18 @@
+// graph/edge.h -- id types for vertices and (hyper)edges (paper Section 2:
+// the input is a hypergraph of rank r; every structure below is indexed by
+// these ids). Plain 32-bit integers so the hot arrays stay cache-dense.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace parmatch::graph {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+}  // namespace parmatch::graph

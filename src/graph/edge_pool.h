@@ -1,0 +1,124 @@
+// graph/edge_pool.h -- slab storage for live hyperedges with free-list id
+// recycling (DESIGN.md S3). The dynamic matcher needs edge ids that are
+// stable while an edge is alive and reusable after it dies; recycling keeps
+// the id space -- and therefore every id-indexed array -- proportional to
+// the maximum number of simultaneously live edges, which is what makes the
+// paper's O(1) space-per-live-edge accounting hold.
+//
+// Because ids are recycled, lazy references (e.g. adjacency entries held by
+// the matcher) must be validated: each slot carries a generation counter,
+// bumped on every free, so a stale (id, generation) pair can be rejected in
+// O(1) without eagerly unlinking it (the constant-work deletion path in
+// paper Section 5 depends on this).
+//
+// Complexity contract: add/remove are O(r) per edge; vertices() is O(1).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge.h"
+#include "graph/edge_batch.h"
+
+namespace parmatch::graph {
+
+class EdgePool {
+ public:
+  // max_rank is capped at 255: ranks are stored in a uint8_t (0 marks a
+  // free slot) to keep the hot arrays dense. The paper's regime is small
+  // constant r, so the cap is a storage contract, not a real limit.
+  explicit EdgePool(std::size_t max_rank) : max_rank_(max_rank) {
+    assert(max_rank_ >= 1 && max_rank_ <= 255);
+  }
+
+  EdgeId add_edge(std::span<const VertexId> vertices) {
+    assert(vertices.size() >= 1 && vertices.size() <= max_rank_);
+    EdgeId id;
+    if (!free_.empty()) {
+      id = free_.back();
+      free_.pop_back();
+    } else {
+      id = static_cast<EdgeId>(rank_.size());
+      rank_.push_back(0);
+      gen_.push_back(0);
+      verts_.resize(verts_.size() + max_rank_);
+    }
+    rank_[id] = static_cast<std::uint8_t>(vertices.size());
+    VertexId* dst = verts_.data() + static_cast<std::size_t>(id) * max_rank_;
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+      dst[i] = vertices[i];
+      if (vertices[i] + 1 > vertex_bound_) vertex_bound_ = vertices[i] + 1;
+    }
+    ++live_;
+    return id;
+  }
+
+  std::vector<EdgeId> add_edges(const EdgeBatch& batch) {
+    std::vector<EdgeId> ids(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) ids[i] = add_edge(batch.edge(i));
+    return ids;
+  }
+
+  void remove_edge(EdgeId id) {
+    assert(live(id));
+    rank_[id] = 0;
+    ++gen_[id];
+    free_.push_back(id);
+    --live_;
+  }
+
+  void remove_edges(std::span<const EdgeId> ids) {
+    for (EdgeId id : ids) remove_edge(id);
+  }
+
+  bool live(EdgeId id) const {
+    return id < rank_.size() && rank_[id] != 0;
+  }
+
+  std::span<const VertexId> vertices(EdgeId id) const {
+    assert(live(id));
+    const VertexId* p = verts_.data() + static_cast<std::size_t>(id) * max_rank_;
+    return {p, p + rank_[id]};
+  }
+
+  std::size_t rank(EdgeId id) const { return rank_[id]; }
+
+  // Generation of a slot; bumped each time the slot is freed, so a stale
+  // (id, generation) reference can be detected in O(1).
+  std::uint32_t generation(EdgeId id) const { return gen_[id]; }
+
+  // Packed (generation << 32 | id) reference for lazily maintained
+  // adjacency lists: holders never unlink eagerly; they drop entries whose
+  // ref_valid() went false (the slot was freed, maybe recycled) instead.
+  std::uint64_t packed_ref(EdgeId id) const {
+    return (static_cast<std::uint64_t>(gen_[id]) << 32) | id;
+  }
+  static EdgeId ref_id(std::uint64_t ref) { return static_cast<EdgeId>(ref); }
+  bool ref_valid(std::uint64_t ref) const {
+    EdgeId id = ref_id(ref);
+    return live(id) && gen_[id] == static_cast<std::uint32_t>(ref >> 32);
+  }
+
+  // One past the largest vertex id ever stored.
+  VertexId vertex_bound() const { return vertex_bound_; }
+
+  // One past the largest edge id ever allocated (live or recycled).
+  std::size_t id_bound() const { return rank_.size(); }
+
+  std::size_t live_count() const { return live_; }
+  std::size_t max_rank() const { return max_rank_; }
+
+ private:
+  std::size_t max_rank_;
+  std::vector<VertexId> verts_;     // id * max_rank_ .. +rank_[id]
+  std::vector<std::uint8_t> rank_;  // 0 == free slot
+  std::vector<std::uint32_t> gen_;
+  std::vector<EdgeId> free_;
+  VertexId vertex_bound_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace parmatch::graph

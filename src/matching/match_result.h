@@ -1,0 +1,37 @@
+// matching/match_result.h -- the output contract shared by the sequential
+// and parallel static matchers (paper Section 3). Besides the matched set,
+// a result exposes the random sample space that produced it:
+//
+//  * samples[e]     -- the 64-bit priority drawn for edge e (the paper's
+//                      "sample"); the matching is exactly greedy in
+//                      ascending priority order;
+//  * eliminator[e]  -- the matched edge that removed e from contention: the
+//                      minimum-priority matched edge sharing a vertex with
+//                      e (necessarily of lower priority than e); matched
+//                      edges eliminate themselves. This is the object the
+//                      price audit (Lemmas 3.3/3.4) charges against.
+//
+// Arrays are indexed by EdgeId up to the pool's id_bound(); slots for ids
+// not in the matched instance hold kInvalidEdge / kNoSample.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/edge.h"
+
+namespace parmatch::matching {
+
+inline constexpr std::uint64_t kNoSample =
+    std::numeric_limits<std::uint64_t>::max();
+
+struct MatchResult {
+  std::vector<graph::EdgeId> matched;      // matched edge ids
+  std::vector<std::uint64_t> samples;      // id-indexed priorities
+  std::vector<graph::EdgeId> eliminator;   // id-indexed; self iff matched
+  std::size_t rounds = 0;                  // parallel rounds taken (1 if seq)
+};
+
+}  // namespace parmatch::matching

@@ -1,0 +1,147 @@
+// matching/parallel_greedy.h -- parallelGreedyMatch (paper Lemma 1.3 /
+// Theorem 3.2): maximal hypergraph matching by random-priority local-minima
+// rounds. Every edge draws a uniform priority; each round, an edge whose
+// priority is the minimum among the still-active edges at every one of its
+// vertices joins the matching, and edges with a newly matched vertex drop
+// out. This computes exactly the sequential greedy matching for the same
+// priorities (deterministic reservations sense), in O(log m) rounds whp
+// (Fischer-Noever).
+//
+// Complexity contract: O(m') expected work (the active set shrinks
+// geometrically in expectation), O(log^2 m') depth whp: O(log m') rounds of
+// O(log) span primitives. greedy_match_rounds is the reusable core the
+// dynamic matcher drives with its own persistent vertex state.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge.h"
+#include "graph/edge_pool.h"
+#include "matching/match_result.h"
+#include "parallel/parallel_for.h"
+#include "prims/filter.h"
+#include "util/rng.h"
+
+namespace parmatch::matching {
+
+namespace detail {
+
+// (priority, id) lexicographic compare so ties cannot double-match a vertex.
+inline bool beats(std::uint64_t pa, graph::EdgeId a, std::uint64_t pb,
+                  graph::EdgeId b) {
+  return pa < pb || (pa == pb && a < b);
+}
+
+}  // namespace detail
+
+// Runs local-minimum rounds over `active` against caller-owned vertex state.
+//  * pri(e)      -- priority of edge e (stable within the call);
+//  * taken_by    -- vertex -> matching edge (kInvalidEdge == free); entries
+//                   for newly matched edges are written;
+//  * min_edge    -- scratch, sized >= pool.vertex_bound(), all kInvalidEdge
+//                   on entry and restored to kInvalidEdge on exit;
+//  * matched_out -- newly matched ids are appended (if non-null);
+//  * work        -- accumulates edges touched (if non-null).
+// Returns the number of rounds.
+template <typename PriFn>
+std::size_t greedy_match_rounds(const graph::EdgePool& pool,
+                                std::vector<graph::EdgeId> active,
+                                PriFn&& pri,
+                                std::vector<graph::EdgeId>& taken_by,
+                                std::vector<graph::EdgeId>& min_edge,
+                                std::vector<graph::EdgeId>* matched_out,
+                                std::size_t* work = nullptr) {
+  using graph::EdgeId;
+  using graph::kInvalidEdge;
+  std::size_t rounds = 0;
+  while (!active.empty()) {
+    ++rounds;
+    if (work) *work += active.size();
+    // Claim: each active edge CAS-mins itself into every endpoint slot.
+    parallel::parallel_for(0, active.size(), [&](std::size_t i) {
+      EdgeId e = active[i];
+      for (graph::VertexId v : pool.vertices(e)) {
+        std::atomic_ref<EdgeId> slot(min_edge[v]);
+        EdgeId cur = slot.load(std::memory_order_relaxed);
+        while (cur == kInvalidEdge ||
+               detail::beats(pri(e), e, pri(cur), cur)) {
+          if (slot.compare_exchange_weak(cur, e, std::memory_order_acq_rel))
+            break;
+        }
+      }
+    });
+    // Commit: winners own every endpoint slot.
+    auto winners = prims::filter(std::span<const EdgeId>(active), [&](EdgeId e) {
+      for (graph::VertexId v : pool.vertices(e))
+        if (min_edge[v] != e) return false;
+      return true;
+    });
+    parallel::parallel_for(0, winners.size(), [&](std::size_t i) {
+      EdgeId e = winners[i];
+      for (graph::VertexId v : pool.vertices(e)) taken_by[v] = e;
+    });
+    if (matched_out)
+      matched_out->insert(matched_out->end(), winners.begin(), winners.end());
+    // Reset scratch, then keep only edges with all endpoints still free.
+    // Atomic store: several active edges share a vertex, so the same slot
+    // is reset concurrently (same value, but a race without the atomic).
+    parallel::parallel_for(0, active.size(), [&](std::size_t i) {
+      for (graph::VertexId v : pool.vertices(active[i]))
+        std::atomic_ref<EdgeId>(min_edge[v])
+            .store(kInvalidEdge, std::memory_order_relaxed);
+    });
+    active = prims::filter(std::span<const EdgeId>(active), [&](EdgeId e) {
+      for (graph::VertexId v : pool.vertices(e))
+        if (taken_by[v] != kInvalidEdge) return false;
+      return true;
+    });
+  }
+  return rounds;
+}
+
+// Static maximal matching over `ids` with fresh priorities drawn from
+// `seed`. Fills the full MatchResult contract (samples + eliminators).
+inline MatchResult parallel_greedy_match(const graph::EdgePool& pool,
+                                         const std::vector<graph::EdgeId>& ids,
+                                         std::uint64_t seed) {
+  using graph::EdgeId;
+  using graph::kInvalidEdge;
+  MatchResult r;
+  r.samples.assign(pool.id_bound(), kNoSample);
+  r.eliminator.assign(pool.id_bound(), kInvalidEdge);
+  parallel::parallel_for(0, ids.size(), [&](std::size_t i) {
+    r.samples[ids[i]] = parmatch::hash64(seed, ids[i]);
+  });
+  std::vector<EdgeId> taken_by(pool.vertex_bound(), kInvalidEdge);
+  std::vector<EdgeId> min_edge(pool.vertex_bound(), kInvalidEdge);
+  r.rounds = greedy_match_rounds(
+      pool, ids, [&](EdgeId e) { return r.samples[e]; }, taken_by, min_edge,
+      &r.matched);
+  std::sort(r.matched.begin(), r.matched.end());
+  // Eliminators: for an unmatched edge, the minimum-priority matched edge at
+  // any of its vertices (it exists, else the edge would have matched).
+  parallel::parallel_for(0, ids.size(), [&](std::size_t i) {
+    EdgeId e = ids[i];
+    EdgeId elim = kInvalidEdge;
+    for (graph::VertexId v : pool.vertices(e)) {
+      EdgeId t = taken_by[v];
+      if (t == kInvalidEdge) continue;
+      if (t == e) {
+        elim = e;
+        break;
+      }
+      if (elim == kInvalidEdge ||
+          detail::beats(r.samples[t], t, r.samples[elim], elim))
+        elim = t;
+    }
+    r.eliminator[e] = elim;
+  });
+  return r;
+}
+
+}  // namespace parmatch::matching

@@ -1,0 +1,70 @@
+// matching/sequential_greedy.h -- the reference greedy matcher (paper
+// Section 3): draw a uniform priority per edge, process edges in ascending
+// priority order, match an edge iff every endpoint is still free. For the
+// same pool, ids and seed this produces the IDENTICAL matched set to
+// matching/parallel_greedy.h (the parallel rounds compute the same greedy
+// fixed point) -- the cross-check bench E5 and the tests rely on that.
+//
+// Complexity contract: O(m' + m log m) work (the sort dominates),
+// sequential.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge.h"
+#include "graph/edge_pool.h"
+#include "matching/match_result.h"
+#include "util/rng.h"
+
+namespace parmatch::matching {
+
+inline MatchResult sequential_greedy_match(
+    const graph::EdgePool& pool, const std::vector<graph::EdgeId>& ids,
+    std::uint64_t seed) {
+  using graph::EdgeId;
+  using graph::kInvalidEdge;
+  MatchResult r;
+  r.rounds = 1;
+  r.samples.assign(pool.id_bound(), kNoSample);
+  r.eliminator.assign(pool.id_bound(), kInvalidEdge);
+  for (EdgeId e : ids) r.samples[e] = parmatch::hash64(seed, e);
+
+  std::vector<EdgeId> order = ids;
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    return r.samples[a] < r.samples[b] ||
+           (r.samples[a] == r.samples[b] && a < b);
+  });
+
+  std::vector<EdgeId> taken_by(pool.vertex_bound(), kInvalidEdge);
+  for (EdgeId e : order) {
+    bool free_all = true;
+    for (graph::VertexId v : pool.vertices(e))
+      free_all = free_all && taken_by[v] == kInvalidEdge;
+    if (!free_all) continue;
+    for (graph::VertexId v : pool.vertices(e)) taken_by[v] = e;
+    r.matched.push_back(e);
+  }
+  std::sort(r.matched.begin(), r.matched.end());
+
+  for (EdgeId e : ids) {
+    EdgeId elim = kInvalidEdge;
+    for (graph::VertexId v : pool.vertices(e)) {
+      EdgeId t = taken_by[v];
+      if (t == kInvalidEdge) continue;
+      if (t == e) {
+        elim = e;
+        break;
+      }
+      if (elim == kInvalidEdge || r.samples[t] < r.samples[elim] ||
+          (r.samples[t] == r.samples[elim] && t < elim))
+        elim = t;
+    }
+    r.eliminator[e] = elim;
+  }
+  return r;
+}
+
+}  // namespace parmatch::matching

@@ -1,0 +1,47 @@
+// parallel/parallel_for.h -- the parallel loop every primitive and matcher
+// phase is written against (DESIGN.md S2). parallel_for(lo, hi, f) applies
+// f(i) to every index; parallel_for_blocked hands out [b, e) chunks when the
+// body wants to keep per-chunk accumulators.
+//
+// Complexity contract: n iterations of an O(1) body cost O(n) work and
+// O(grain + n/P) span; with PARMATCH_SEQ=1 both collapse to a plain loop.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "parallel/scheduler.h"
+
+namespace parmatch::parallel {
+
+inline std::size_t default_grain(std::size_t n) {
+  std::size_t p = static_cast<std::size_t>(num_workers());
+  std::size_t g = n / (8 * p) + 1;
+  return g < 2048 ? g : 2048;
+}
+
+// f(begin, end) over [lo, hi) in chunks.
+template <typename F>
+void parallel_for_blocked(std::size_t lo, std::size_t hi, F&& f,
+                          std::size_t grain = 0) {
+  if (hi <= lo) return;
+  std::size_t n = hi - lo;
+  if (grain == 0) grain = default_grain(n);
+  Scheduler::instance().run(n, grain, [lo, &f](std::size_t b, std::size_t e) {
+    f(lo + b, lo + e);
+  });
+}
+
+// f(i) for every i in [lo, hi).
+template <typename F>
+void parallel_for(std::size_t lo, std::size_t hi, F&& f,
+                  std::size_t grain = 0) {
+  parallel_for_blocked(
+      lo, hi,
+      [&f](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) f(i);
+      },
+      grain);
+}
+
+}  // namespace parmatch::parallel

@@ -1,0 +1,160 @@
+// parallel/scheduler.h -- a work-stealing-lite fork/join pool over
+// std::thread (DESIGN.md S2). This is the binary-forking model stand-in the
+// paper assumes (Section 2): parallel loops with O(log) depth overhead.
+//
+// Design: one process-wide pool of (num_workers - 1) helper threads. A
+// parallel loop publishes a job (range + grain + callback); every worker --
+// including the caller -- claims grain-sized chunks from a shared atomic
+// cursor until the range is drained ("lite" stealing: chunks are stolen from
+// one shared deque head instead of per-worker deques, which is within a
+// constant factor for the flat loops this library runs). Nested parallel
+// regions execute sequentially inside the worker, preserving correctness.
+//
+// Worker count is fixed at first use: PARMATCH_SEQ=1 forces 1 worker (fully
+// sequential), PARMATCH_NUM_THREADS=k pins k, otherwise hardware
+// concurrency. Complexity contract: a loop of n iterations with grain g
+// costs n work, O(n/g) synchronization events, and O(g + n/P) span.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parmatch::parallel {
+
+class Scheduler {
+ public:
+  static Scheduler& instance() {
+    static Scheduler s;
+    return s;
+  }
+
+  int workers() const { return workers_; }
+
+  // Runs fn(begin, end) over [0, n) in grain-sized chunks on all workers;
+  // blocks until every chunk has finished. Nested calls run inline.
+  template <typename F>
+  void run(std::size_t n, std::size_t grain, F&& fn) {
+    if (n == 0) return;
+    if (grain == 0) grain = 1;
+    if (workers_ == 1 || n <= grain || in_parallel_) {
+      fn(0, n);
+      return;
+    }
+    std::unique_lock<std::mutex> job_guard(job_mutex_);
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      // Quiesce: a helper that woke late for the PREVIOUS job may still be
+      // inside work_chunks (draining an exhausted cursor). Job state must
+      // not be rewritten under it, so wait for stragglers, and publish the
+      // new state inside the same critical section that bumps the epoch.
+      done_cv_.wait(lk, [this] { return in_job_ == 0; });
+      chunk_fn_ = [&fn](std::size_t b, std::size_t e) { fn(b, e); };
+      job_n_ = n;
+      job_grain_ = grain;
+      cursor_.store(0, std::memory_order_relaxed);
+      pending_.store(static_cast<int>((n + grain - 1) / grain),
+                     std::memory_order_relaxed);
+      ++epoch_;
+    }
+    cv_.notify_all();
+    in_parallel_ = true;
+    work_chunks();
+    in_parallel_ = false;
+    {
+      // All chunks done AND no helper still inside the job: only then is it
+      // safe to tear down / reuse the job slot.
+      std::unique_lock<std::mutex> lk(mutex_);
+      done_cv_.wait(lk,
+                    [this] { return pending_.load() == 0 && in_job_ == 0; });
+    }
+    chunk_fn_ = nullptr;
+  }
+
+ private:
+  Scheduler() {
+    workers_ = decide_workers();
+    for (int i = 1; i < workers_; ++i)
+      threads_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~Scheduler() {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      stop_ = true;
+      ++epoch_;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  static int decide_workers() {
+    if (const char* seq = std::getenv("PARMATCH_SEQ"); seq && seq[0] == '1')
+      return 1;
+    if (const char* env = std::getenv("PARMATCH_NUM_THREADS")) {
+      int k = std::atoi(env);
+      if (k >= 1) return k;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? static_cast<int>(hw) : 1;
+  }
+
+  void work_chunks() {
+    const std::size_t n = job_n_, grain = job_grain_;
+    for (;;) {
+      std::size_t b = cursor_.fetch_add(grain, std::memory_order_relaxed);
+      if (b >= n) break;
+      std::size_t e = b + grain < n ? b + grain : n;
+      chunk_fn_(b, e);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lk(mutex_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  void worker_loop() {
+    in_parallel_ = true;  // nested loops inside a worker stay sequential
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mutex_);
+    for (;;) {
+      cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      ++in_job_;  // announced under mutex_, so run() cannot reset state
+      lk.unlock();
+      work_chunks();
+      lk.lock();
+      if (--in_job_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  int workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex job_mutex_;  // serializes top-level parallel regions
+  std::function<void(std::size_t, std::size_t)> chunk_fn_;
+  std::size_t job_n_ = 0, job_grain_ = 0;
+  std::atomic<std::size_t> cursor_{0};
+  std::atomic<int> pending_{0};
+
+  std::mutex mutex_;
+  std::condition_variable cv_, done_cv_;
+  std::uint64_t epoch_ = 0;
+  int in_job_ = 0;  // helpers currently inside work_chunks (mutex_-guarded)
+  bool stop_ = false;
+
+  static thread_local bool in_parallel_;
+};
+
+inline thread_local bool Scheduler::in_parallel_ = false;
+
+inline int num_workers() { return Scheduler::instance().workers(); }
+
+}  // namespace parmatch::parallel

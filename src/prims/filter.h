@@ -1,0 +1,50 @@
+// prims/filter.h -- stable parallel pack/filter (DESIGN.md S3): the
+// primitive behind every "keep the still-active edges" step in the greedy
+// rounds (matching/parallel_greedy.h) and the settle loop.
+//
+// Complexity contract: O(n) work, O(P + n/P) span, output order preserved
+// (count + scan + scatter, so results are deterministic across P).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+
+namespace parmatch::prims {
+
+template <typename T, typename Pred>
+std::vector<T> filter(std::span<const T> in, Pred&& keep) {
+  std::size_t n = in.size();
+  if (n == 0) return {};
+  std::size_t grain = parallel::default_grain(n);
+  std::size_t blocks = (n + grain - 1) / grain;
+  std::vector<std::size_t> count(blocks, 0);
+  parallel::parallel_for_blocked(
+      0, n,
+      [&](std::size_t b, std::size_t e) {
+        std::size_t c = 0;
+        for (std::size_t i = b; i < e; ++i) c += keep(in[i]) ? 1 : 0;
+        count[b / grain] = c;
+      },
+      grain);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < blocks; ++i) {
+    std::size_t c = count[i];
+    count[i] = total;
+    total += c;
+  }
+  std::vector<T> out(total);
+  parallel::parallel_for_blocked(
+      0, n,
+      [&](std::size_t b, std::size_t e) {
+        std::size_t pos = count[b / grain];
+        for (std::size_t i = b; i < e; ++i)
+          if (keep(in[i])) out[pos++] = in[i];
+      },
+      grain);
+  return out;
+}
+
+}  // namespace parmatch::prims

@@ -1,0 +1,70 @@
+// prims/group_by.h -- semisort: bucket values by integer key (DESIGN.md
+// S3). The matcher uses this to turn a flat (vertex, edge) incidence list
+// into per-vertex groups in one shot -- the Section 2 "collect by endpoint"
+// primitive.
+//
+// Complexity contract: O(n) work via radix sort on the key bits actually
+// used; deterministic output (stable sort), grouped values contiguous.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+#include "prims/radix_sort.h"
+
+namespace parmatch::prims {
+
+template <typename K, typename V>
+struct Grouped {
+  std::vector<K> keys;                  // distinct keys, ascending
+  std::vector<std::uint32_t> offsets;   // keys.size()+1 offsets into values
+  std::vector<V> values;
+
+  std::size_t num_groups() const { return keys.size(); }
+  std::span<const V> group(std::size_t g) const {
+    return {values.data() + offsets[g], values.data() + offsets[g + 1]};
+  }
+};
+
+template <typename K, typename V>
+Grouped<K, V> group_by(std::span<const K> keys, std::span<const V> values) {
+  Grouped<K, V> out;
+  std::size_t n = keys.size();
+  if (n == 0) {
+    out.offsets.push_back(0);
+    return out;
+  }
+  struct Pair {
+    K k;
+    V v;
+  };
+  std::vector<Pair> pairs(n);
+  K maxk = K{};
+  for (std::size_t i = 0; i < n; ++i) {  // max is cheap; pairs fill parallel
+    if (keys[i] > maxk) maxk = keys[i];
+  }
+  parallel::parallel_for(0, n, [&](std::size_t i) {
+    pairs[i] = Pair{keys[i], values[i]};
+  });
+  int bits = std::bit_width(static_cast<std::uint64_t>(maxk));
+  if (bits == 0) bits = 1;
+  radix_sort(pairs, [](const Pair& p) { return static_cast<std::uint64_t>(p.k); },
+             bits);
+  out.values.resize(n);
+  out.offsets.push_back(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.values[i] = pairs[i].v;
+    if (i == 0 || pairs[i].k != pairs[i - 1].k) {
+      out.keys.push_back(pairs[i].k);
+      if (i != 0) out.offsets.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  out.offsets.push_back(static_cast<std::uint32_t>(n));
+  return out;
+}
+
+}  // namespace parmatch::prims

@@ -1,0 +1,39 @@
+// prims/permutation.h -- uniformly random permutation (DESIGN.md S3), the
+// source of the random edge orderings in Section 3's greedy analysis. Built
+// by sorting indices by independent 64-bit random keys (ties broken by
+// index), which is O(n) work via radix sort, parallel, and -- unlike
+// Fisher-Yates -- gives the same permutation for a given seed regardless of
+// worker count.
+//
+// Complexity contract: O(n) work, O(polylog) span; distribution is uniform
+// up to the negligible probability of a 64-bit key collision (ties resolved
+// deterministically, not adversarially).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+#include "prims/radix_sort.h"
+#include "util/rng.h"
+
+namespace parmatch::prims {
+
+inline std::vector<std::uint32_t> random_permutation(std::size_t n,
+                                                     std::uint64_t seed) {
+  struct Keyed {
+    std::uint64_t key;
+    std::uint32_t idx;
+  };
+  std::vector<Keyed> v(n);
+  parallel::parallel_for(0, n, [&](std::size_t i) {
+    v[i] = Keyed{hash64(seed, i), static_cast<std::uint32_t>(i)};
+  });
+  radix_sort(v, [](const Keyed& k) { return k.key; }, 64);
+  std::vector<std::uint32_t> out(n);
+  parallel::parallel_for(0, n, [&](std::size_t i) { out[i] = v[i].idx; });
+  return out;
+}
+
+}  // namespace parmatch::prims

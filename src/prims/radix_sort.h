@@ -1,0 +1,76 @@
+// prims/radix_sort.h -- stable LSD radix sort by an integer key function
+// (DESIGN.md S3). This is the O(n)-work sort the paper's primitives budget
+// assumes for bucketing edges by endpoint or by priority; stability is what
+// keeps downstream group_by and random_permutation deterministic regardless
+// of worker count.
+//
+// Complexity contract: O(n * bits/8) work; each 8-bit pass is a blocked
+// histogram + scan + stable scatter with O(P * 256 + n/P) span.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+
+namespace parmatch::prims {
+
+// Sorts v so that key(v[i]) is non-decreasing, considering only the low
+// `bits` bits of the key. Stable.
+template <typename T, typename KeyFn>
+void radix_sort(std::vector<T>& v, KeyFn&& key, int bits = 64) {
+  constexpr int kRadixBits = 8;
+  constexpr std::size_t kBuckets = 1u << kRadixBits;
+  std::size_t n = v.size();
+  if (n <= 1) return;
+
+  std::vector<T> buf(n);
+  std::size_t grain = parallel::default_grain(n);
+  std::size_t blocks = (n + grain - 1) / grain;
+  std::vector<std::uint32_t> hist(blocks * kBuckets);
+
+  T* src = v.data();
+  T* dst = buf.data();
+  bool swapped = false;
+  for (int shift = 0; shift < bits; shift += kRadixBits) {
+    std::uint64_t mask = kBuckets - 1;
+    // Full clear: the scheduler may deliver the range as fewer, larger
+    // chunks than there are blocks (e.g. the sequential fallback), so
+    // zeroing only visited blocks would leave stale counts behind.
+    std::fill(hist.begin(), hist.end(), 0);
+    parallel::parallel_for_blocked(
+        0, n,
+        [&](std::size_t b, std::size_t e) {
+          std::uint32_t* h = hist.data() + (b / grain) * kBuckets;
+          for (std::size_t i = b; i < e; ++i)
+            ++h[(key(src[i]) >> shift) & mask];
+        },
+        grain);
+    // Column-major exclusive scan over (bucket, block) so the scatter below
+    // is stable: all of bucket b's elements from block 0 precede block 1's.
+    std::uint32_t total = 0;
+    for (std::size_t bucket = 0; bucket < kBuckets; ++bucket)
+      for (std::size_t blk = 0; blk < blocks; ++blk) {
+        std::uint32_t& h = hist[blk * kBuckets + bucket];
+        std::uint32_t c = h;
+        h = total;
+        total += c;
+      }
+    parallel::parallel_for_blocked(
+        0, n,
+        [&](std::size_t b, std::size_t e) {
+          std::uint32_t* h = hist.data() + (b / grain) * kBuckets;
+          for (std::size_t i = b; i < e; ++i)
+            dst[h[(key(src[i]) >> shift) & mask]++] = src[i];
+        },
+        grain);
+    std::swap(src, dst);
+    swapped = !swapped;
+  }
+  if (swapped) v.swap(buf);
+}
+
+}  // namespace parmatch::prims

@@ -1,0 +1,83 @@
+// prims/reduce.h -- reduction, exclusive scan, and iota (DESIGN.md S3).
+// These are the textbook O(n) work / O(log n) span building blocks the
+// paper's Section 2 primitives table assumes; here they are blocked
+// two-pass implementations over the scheduler.
+//
+// Complexity contract: reduce and scan_exclusive do O(n) work, O(P + n/P)
+// span on P workers; iota is O(n) work.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+
+namespace parmatch::prims {
+
+template <typename T>
+T reduce(std::span<const T> in) {
+  std::size_t n = in.size();
+  if (n == 0) return T{};
+  std::size_t grain = parallel::default_grain(n);
+  std::size_t blocks = (n + grain - 1) / grain;
+  std::vector<T> partial(blocks, T{});
+  parallel::parallel_for_blocked(
+      0, n,
+      [&](std::size_t b, std::size_t e) {
+        T acc{};
+        for (std::size_t i = b; i < e; ++i) acc = acc + in[i];
+        partial[b / grain] = acc;
+      },
+      grain);
+  T total{};
+  for (T p : partial) total = total + p;
+  return total;
+}
+
+// In-place exclusive prefix sum; returns the total.
+template <typename T>
+T scan_exclusive(std::span<T> v) {
+  std::size_t n = v.size();
+  if (n == 0) return T{};
+  std::size_t grain = parallel::default_grain(n);
+  std::size_t blocks = (n + grain - 1) / grain;
+  std::vector<T> partial(blocks, T{});
+  parallel::parallel_for_blocked(
+      0, n,
+      [&](std::size_t b, std::size_t e) {
+        T acc{};
+        for (std::size_t i = b; i < e; ++i) acc = acc + v[i];
+        partial[b / grain] = acc;
+      },
+      grain);
+  T total{};
+  for (std::size_t i = 0; i < blocks; ++i) {
+    T next = total + partial[i];
+    partial[i] = total;
+    total = next;
+  }
+  parallel::parallel_for_blocked(
+      0, n,
+      [&](std::size_t b, std::size_t e) {
+        T acc = partial[b / grain];
+        for (std::size_t i = b; i < e; ++i) {
+          T next = acc + v[i];
+          v[i] = acc;
+          acc = next;
+        }
+      },
+      grain);
+  return total;
+}
+
+template <typename T>
+std::vector<T> iota(std::size_t n) {
+  std::vector<T> v(n);
+  parallel::parallel_for(0, n,
+                         [&](std::size_t i) { v[i] = static_cast<T>(i); });
+  return v;
+}
+
+}  // namespace parmatch::prims

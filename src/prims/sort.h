@@ -1,0 +1,59 @@
+// prims/sort.h -- comparison sort with parallel block-sort + merge tree
+// (DESIGN.md S3). Used where keys are not small integers (radix_sort.h is
+// the O(n) path for those).
+//
+// Complexity contract: O(n log n) work, O((n/P) log n + n) span -- the
+// merge tree is sequential per level, which is fine at the sizes and worker
+// counts this library targets; swap in a parallel merge if P grows.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+
+namespace parmatch::prims {
+
+template <typename T, typename Cmp = std::less<T>>
+void parallel_sort(std::vector<T>& v, Cmp cmp = Cmp{}) {
+  std::size_t n = v.size();
+  std::size_t p = static_cast<std::size_t>(parallel::num_workers());
+  if (p == 1 || n < (1u << 14)) {
+    std::sort(v.begin(), v.end(), cmp);
+    return;
+  }
+  std::size_t blocks = 2 * p;
+  std::size_t chunk = (n + blocks - 1) / blocks;
+  std::vector<std::size_t> bounds;
+  for (std::size_t b = 0; b <= n; b += chunk) bounds.push_back(std::min(b, n));
+  if (bounds.back() != n) bounds.push_back(n);
+  parallel::parallel_for(
+      0, bounds.size() - 1,
+      [&](std::size_t i) {
+        std::sort(v.begin() + bounds[i], v.begin() + bounds[i + 1], cmp);
+      },
+      1);
+  // Merge tree: pairwise inplace_merge until one run remains.
+  while (bounds.size() > 2) {
+    std::vector<std::size_t> next;
+    next.push_back(bounds[0]);
+    parallel::parallel_for(
+        0, (bounds.size() - 1) / 2,
+        [&](std::size_t i) {
+          std::size_t lo = bounds[2 * i], mid = bounds[2 * i + 1],
+                      hi = bounds[2 * i + 2];
+          std::inplace_merge(v.begin() + lo, v.begin() + mid, v.begin() + hi,
+                             cmp);
+        },
+        1);
+    for (std::size_t i = 2; i < bounds.size(); i += 2) next.push_back(bounds[i]);
+    if (bounds.size() % 2 == 0 && next.back() != bounds.back())
+      next.push_back(bounds.back());
+    bounds = std::move(next);
+  }
+}
+
+}  // namespace parmatch::prims

@@ -1,0 +1,94 @@
+// setcover/set_cover.h -- r-approximate set cover by maximal matching
+// (paper Corollaries 1.4 / 1.5). An element that belongs to at most r sets
+// is a hyperedge of rank <= r over sets-as-vertices; a maximal matching M
+// of those hyperedges gives the classic sandwich
+//
+//     |M|  <=  OPT  <=  |cover|  <=  r * |M|,
+//
+// where the cover is every set touched by a matched element: matched
+// elements are pairwise set-disjoint (so OPT needs one set per matched
+// element), and every element shares a set with some matched element (else
+// M was not maximal), so the touched sets cover everything.
+//
+// DynamicSetCover maintains this under element insertions/deletions by
+// delegating to dyn::DynamicMatcher -- O(r^3) amortized work per element
+// update (Corollary 1.4); static_set_cover runs the static greedy matcher
+// for O(m') expected work (Corollary 1.5).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "containers/flat_hash_set.h"
+#include "dyn/dynamic_matcher.h"
+#include "graph/edge.h"
+#include "graph/edge_batch.h"
+#include "graph/edge_pool.h"
+#include "matching/parallel_greedy.h"
+
+namespace parmatch::setcover {
+
+using SetId = graph::VertexId;        // sets play the role of vertices
+using ElementId = graph::EdgeId;      // elements play the role of edges
+using ElementBatch = graph::EdgeBatch;
+
+class DynamicSetCover {
+ public:
+  // max_freq is r: the maximum number of sets any element belongs to.
+  DynamicSetCover(std::size_t max_freq, std::uint64_t seed)
+      : matcher_(make_config(max_freq, seed)) {}
+
+  std::vector<ElementId> insert_elements(const ElementBatch& batch) {
+    return matcher_.insert_edges(batch);
+  }
+
+  void delete_elements(const std::vector<ElementId>& ids) {
+    matcher_.delete_edges(ids);
+  }
+
+  const dyn::DynamicMatcher& matcher() const { return matcher_; }
+
+  std::size_t matching_size() const { return matcher_.matched_count(); }
+
+  // Sets touched by matched elements. O(matching * r) per call.
+  std::vector<SetId> cover() const {
+    ct::flat_hash_set<SetId> sets;
+    for (ElementId e : matcher_.matching())
+      for (SetId s : matcher_.pool().vertices(e)) sets.insert(s);
+    return sets.elements();
+  }
+
+  std::size_t cover_size() const { return cover().size(); }
+
+ private:
+  static dyn::Config make_config(std::size_t max_freq, std::uint64_t seed) {
+    dyn::Config cfg;
+    cfg.max_rank = max_freq;
+    cfg.seed = seed;
+    return cfg;
+  }
+
+  dyn::DynamicMatcher matcher_;
+};
+
+struct StaticCoverResult {
+  std::vector<SetId> cover;
+  std::size_t matching_size = 0;
+};
+
+inline StaticCoverResult static_set_cover(const ElementBatch& system,
+                                          std::size_t r, std::uint64_t seed) {
+  graph::EdgePool pool(r);
+  auto ids = pool.add_edges(system);
+  auto match = matching::parallel_greedy_match(pool, ids, seed);
+  ct::flat_hash_set<SetId> sets;
+  for (ElementId e : match.matched)
+    for (SetId s : pool.vertices(e)) sets.insert(s);
+  StaticCoverResult out;
+  out.cover = sets.elements();
+  out.matching_size = match.matched.size();
+  return out;
+}
+
+}  // namespace parmatch::setcover

@@ -1,0 +1,52 @@
+// util/rng.h -- splitmix64 pseudo-random generator (paper Section 2 model:
+// the algorithm's only randomness is a stream of uniform words; an oblivious
+// adversary fixes the update sequence before the stream is drawn).
+//
+// Complexity contract: next() and next_below() are O(1), branch-light, and
+// stateless across instances (two Rngs with the same seed produce the same
+// stream), which is what makes every bench reproducible under --seed.
+#pragma once
+
+#include <cstdint>
+
+namespace parmatch {
+
+// One step of the splitmix64 sequence (Steele, Lea & Flood's finalizer).
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// Stateless hash of (seed, i): used wherever a value must be drawn
+// deterministically per element regardless of traversal order.
+inline std::uint64_t hash64(std::uint64_t seed, std::uint64_t i) {
+  std::uint64_t s = seed ^ (i * 0xD1B54A32D192ED03ull);
+  return splitmix64(s);
+}
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : state_(seed) {}
+
+  std::uint64_t next() { return splitmix64(state_); }
+
+  // Uniform value in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire-style multiply-shift rejection-free mapping; the bias is
+    // < bound / 2^64, far below anything the benches can observe.
+    unsigned __int128 p =
+        static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(bound);
+    return static_cast<std::uint64_t>(p >> 64);
+  }
+
+  double next_double() {  // uniform in [0, 1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace parmatch

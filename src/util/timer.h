@@ -1,0 +1,25 @@
+// util/timer.h -- wall-clock stopwatch for the experiment harnesses
+// (DESIGN.md Section 4). Monotonic, O(1) per call.
+#pragma once
+
+#include <chrono>
+
+namespace parmatch {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  // Seconds since construction or the last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace parmatch

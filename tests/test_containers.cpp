@@ -1,0 +1,133 @@
+// Phase-concurrent dictionary tests (DESIGN.md S5): semantics are checked
+// against std::unordered_* references through mixed batch/pointwise use.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "containers/flat_hash_map.h"
+#include "containers/flat_hash_set.h"
+#include "util/rng.h"
+
+using namespace parmatch;
+
+namespace {
+
+TEST(FlatHashSet, PointwiseInsertEraseContains) {
+  ct::flat_hash_set<std::uint64_t> s;
+  std::unordered_set<std::uint64_t> ref;
+  Rng rng(1);
+  for (int i = 0; i < 20'000; ++i) {
+    std::uint64_t k = rng.next_below(4'096);
+    if (rng.next_below(3) == 0) {
+      EXPECT_EQ(s.erase(k), ref.erase(k) > 0);
+    } else {
+      EXPECT_EQ(s.insert(k), ref.insert(k).second);
+    }
+    ASSERT_EQ(s.size(), ref.size());
+  }
+  for (std::uint64_t k = 0; k < 4'096; ++k)
+    EXPECT_EQ(s.contains(k), ref.count(k) > 0);
+}
+
+TEST(FlatHashSet, BatchInsertEraseElements) {
+  Rng rng(2);
+  std::vector<std::uint64_t> keys(50'000);
+  for (auto& k : keys) k = rng.next();  // effectively distinct
+  ct::flat_hash_set<std::uint64_t> s;
+  s.batch_insert(keys);
+  EXPECT_EQ(s.size(), keys.size());
+  for (auto k : keys) ASSERT_TRUE(s.contains(k));
+
+  auto everything = s.elements();
+  std::sort(everything.begin(), everything.end());
+  auto ref = keys;
+  std::sort(ref.begin(), ref.end());
+  EXPECT_EQ(everything, ref);
+
+  std::vector<std::uint64_t> first_half(keys.begin(),
+                                        keys.begin() + keys.size() / 2);
+  s.batch_erase(first_half);
+  EXPECT_EQ(s.size(), keys.size() - first_half.size());
+  for (auto k : first_half) ASSERT_FALSE(s.contains(k));
+  for (std::size_t i = keys.size() / 2; i < keys.size(); ++i)
+    ASSERT_TRUE(s.contains(keys[i]));
+}
+
+TEST(FlatHashSet, BatchInsertDeduplicates) {
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 1'000; ++i) {
+    keys.push_back(i);
+    keys.push_back(i);  // duplicate inside the batch
+  }
+  ct::flat_hash_set<std::uint64_t> s;
+  s.batch_insert(keys);
+  EXPECT_EQ(s.size(), 1'000u);
+  s.batch_insert(keys);  // duplicates against the table
+  EXPECT_EQ(s.size(), 1'000u);
+}
+
+TEST(FlatHashSet, CopyIsIndependent) {
+  ct::flat_hash_set<std::uint64_t> a;
+  for (std::uint64_t i = 0; i < 100; ++i) a.insert(i);
+  auto b = a;
+  b.erase(7);
+  EXPECT_TRUE(a.contains(7));
+  EXPECT_FALSE(b.contains(7));
+}
+
+TEST(FlatHashSet, SurvivesTombstoneChurn) {
+  // Insert/erase the same small key set many times: tombstones must not
+  // break probing or leak capacity unboundedly.
+  ct::flat_hash_set<std::uint64_t> s;
+  for (int round = 0; round < 200; ++round) {
+    for (std::uint64_t k = 0; k < 64; ++k) s.insert(k);
+    for (std::uint64_t k = 0; k < 64; ++k) EXPECT_TRUE(s.erase(k));
+  }
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains(13));
+}
+
+TEST(FlatHashMap, InsertFindEraseOverwrite) {
+  ct::flat_hash_map<std::uint64_t, std::uint64_t> m;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(3);
+  for (int i = 0; i < 30'000; ++i) {
+    std::uint64_t k = rng.next_below(2'048), v = rng.next();
+    switch (rng.next_below(3)) {
+      case 0:
+        EXPECT_EQ(m.erase(k), ref.erase(k) > 0);
+        break;
+      default:
+        m.insert(k, v);
+        ref[k] = v;
+    }
+    ASSERT_EQ(m.size(), ref.size());
+  }
+  for (std::uint64_t k = 0; k < 2'048; ++k) {
+    auto* p = m.find(k);
+    auto it = ref.find(k);
+    ASSERT_EQ(p != nullptr, it != ref.end());
+    if (p) {
+      EXPECT_EQ(*p, it->second);
+    }
+  }
+}
+
+TEST(FlatHashMap, ForEachVisitsEveryEntryOnce) {
+  ct::flat_hash_map<std::uint32_t, std::uint32_t> m;
+  for (std::uint32_t i = 0; i < 500; ++i) m.insert(i, i * 3);
+  std::size_t count = 0;
+  std::uint64_t key_sum = 0;
+  m.for_each([&](std::uint32_t k, std::uint32_t v) {
+    EXPECT_EQ(v, k * 3);
+    ++count;
+    key_sum += k;
+  });
+  EXPECT_EQ(count, 500u);
+  EXPECT_EQ(key_sum, 499ull * 500 / 2);
+}
+
+}  // namespace

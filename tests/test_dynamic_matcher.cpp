@@ -1,0 +1,202 @@
+// Batch-dynamic matcher tests (paper Sections 4-5) -- the acceptance gate:
+// across insert-only, delete-heavy and mixed workloads (and the E10 config
+// ablations), after EVERY batch the matching must be valid (matched edges
+// live and vertex-disjoint) and MAXIMAL, and must stay consistent with
+// recompute-from-scratch: two maximal matchings of the same rank-r
+// hypergraph differ in size by at most a factor r.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "dyn/dynamic_matcher.h"
+#include "gen/generators.h"
+#include "gen/workloads.h"
+#include "matching/parallel_greedy.h"
+
+using namespace parmatch;
+using graph::EdgeId;
+using graph::kInvalidEdge;
+using graph::VertexId;
+
+namespace {
+
+// Replays a workload; after every step validates the full invariant set.
+void drive_and_check(dyn::DynamicMatcher& dm, const gen::Workload& w) {
+  std::vector<EdgeId> live_of_master(w.master.size(), kInvalidEdge);
+  std::vector<EdgeId> live;  // all currently live ids
+  std::size_t step_no = 0;
+  for (const auto& step : w.steps) {
+    if (step.is_insert) {
+      graph::EdgeBatch chunk;
+      for (std::size_t i : step.edges) chunk.add(w.master.edge(i));
+      auto ids = dm.insert_edges(chunk);
+      ASSERT_EQ(ids.size(), step.edges.size());
+      for (std::size_t j = 0; j < ids.size(); ++j)
+        live_of_master[step.edges[j]] = ids[j];
+    } else {
+      std::vector<EdgeId> ids;
+      for (std::size_t i : step.edges) {
+        ids.push_back(live_of_master[i]);
+        live_of_master[i] = kInvalidEdge;
+      }
+      dm.delete_edges(ids);
+    }
+    live.clear();
+    for (EdgeId id : live_of_master)
+      if (id != kInvalidEdge) live.push_back(id);
+
+    // -- validity: matched edges live, pairwise vertex-disjoint.
+    auto matched = dm.matching();
+    ASSERT_EQ(matched.size(), dm.matched_count()) << "step " << step_no;
+    std::vector<EdgeId> taken(dm.pool().vertex_bound(), kInvalidEdge);
+    for (EdgeId e : matched) {
+      ASSERT_TRUE(dm.pool().live(e)) << "step " << step_no;
+      ASSERT_TRUE(dm.is_matched(e));
+      for (VertexId v : dm.pool().vertices(e)) {
+        ASSERT_EQ(taken[v], kInvalidEdge)
+            << "vertex " << v << " doubly matched at step " << step_no;
+        taken[v] = e;
+      }
+    }
+    // -- maximality: every live edge touches a matched vertex.
+    for (EdgeId e : live) {
+      bool blocked = false;
+      for (VertexId v : dm.pool().vertices(e))
+        blocked = blocked || taken[v] != kInvalidEdge;
+      ASSERT_TRUE(blocked) << "edge " << e << " free at step " << step_no;
+    }
+    ++step_no;
+  }
+  // -- consistency with recompute-from-scratch on the final live graph:
+  // both are maximal, so sizes are within a factor of the rank.
+  auto scratch = matching::parallel_greedy_match(dm.pool(), live, 12345);
+  std::size_t r = dm.pool().max_rank();
+  EXPECT_LE(scratch.matched.size(), r * dm.matched_count());
+  EXPECT_LE(dm.matched_count(), r * scratch.matched.size());
+  if (live.empty()) {
+    EXPECT_EQ(dm.matched_count(), 0u);
+  }
+}
+
+gen::Workload insert_only(std::size_t n, std::size_t m, std::size_t batch,
+                          std::uint64_t seed) {
+  gen::Workload w;
+  w.master = gen::erdos_renyi(static_cast<VertexId>(n), m, seed);
+  for (std::size_t b = 0; b * batch < m; ++b) {
+    gen::Step s;
+    s.is_insert = true;
+    for (std::size_t i = b * batch; i < std::min(m, (b + 1) * batch); ++i)
+      s.edges.push_back(i);
+    w.steps.push_back(std::move(s));
+  }
+  return w;
+}
+
+TEST(DynamicMatcher, InsertOnlyBatches) {
+  auto w = insert_only(600, 2'400, 128, 3);
+  dyn::DynamicMatcher dm;
+  drive_and_check(dm, w);
+  EXPECT_EQ(dm.cumulative_stats().inserts, 2'400u);
+  EXPECT_GT(dm.matched_count(), 0u);
+}
+
+TEST(DynamicMatcher, DeleteHeavyChurn) {
+  auto w = gen::churn(gen::erdos_renyi(500, 2'000, 11), 96, 0.35, 21);
+  dyn::DynamicMatcher dm;
+  drive_and_check(dm, w);
+  EXPECT_GT(dm.cumulative_stats().deletes, dm.cumulative_stats().inserts / 2);
+}
+
+TEST(DynamicMatcher, MixedChurn) {
+  auto w = gen::churn(gen::erdos_renyi(700, 2'800, 13), 128, 0.5, 31);
+  dyn::DynamicMatcher dm;
+  drive_and_check(dm, w);
+  const auto& st = dm.cumulative_stats();
+  EXPECT_EQ(st.total_updates(), st.inserts + st.deletes);
+  EXPECT_GT(st.work_units, 0u);
+  EXPECT_GT(st.samples_created, 0u);
+}
+
+TEST(DynamicMatcher, FullTeardownEmptiesMatching) {
+  auto w = insert_only(300, 1'200, 1'200, 5);
+  dyn::DynamicMatcher dm;
+  drive_and_check(dm, w);
+  // Delete everything in a few batches.
+  while (dm.pool().live_count() > 0) {
+    std::vector<EdgeId> victims;
+    for (EdgeId id = 0; id < dm.pool().id_bound() && victims.size() < 500;
+         ++id)
+      if (dm.pool().live(id)) victims.push_back(id);
+    dm.delete_edges(victims);
+  }
+  EXPECT_EQ(dm.matched_count(), 0u);
+  EXPECT_TRUE(dm.matching().empty());
+}
+
+TEST(DynamicMatcher, HubTeardownResettles) {
+  dyn::DynamicMatcher dm;
+  dm.insert_edges(gen::hub_graph(4, 256));
+  for (int round = 0; round < 4; ++round) {
+    auto victims = dm.matching();
+    if (victims.empty()) break;
+    dm.delete_edges(victims);
+    // Settling must have replaced the star matches while spokes remain.
+    if (dm.pool().live_count() >= 8) {
+      EXPECT_GT(dm.matched_count(), 0u) << "round " << round;
+    }
+  }
+  EXPECT_GT(dm.cumulative_stats().settle_rounds, 0u);
+}
+
+TEST(DynamicMatcher, AblationConfigsStayCorrect) {
+  for (int variant = 0; variant < 3; ++variant) {
+    dyn::Config cfg;
+    cfg.seed = 77 + variant;
+    if (variant == 1) cfg.light_only = true;
+    if (variant == 2) {
+      cfg.level_gap = 4;
+      cfg.heavy_factor = 1;
+    }
+    auto w = gen::churn(gen::erdos_renyi(400, 1'600, 17), 64, 0.45, 41);
+    dyn::DynamicMatcher dm(cfg);
+    drive_and_check(dm, w);
+  }
+}
+
+TEST(DynamicMatcher, HypergraphChurn) {
+  auto w = gen::churn(gen::random_hypergraph(500, 1'500, 3, 19), 64, 0.5, 51);
+  dyn::Config cfg;
+  cfg.max_rank = 3;
+  dyn::DynamicMatcher dm(cfg);
+  drive_and_check(dm, w);
+}
+
+TEST(DynamicMatcher, DeterministicForFixedSeed) {
+  auto w = gen::churn(gen::erdos_renyi(300, 1'200, 23), 64, 0.5, 61);
+  dyn::Config cfg;
+  cfg.seed = 5;
+  dyn::DynamicMatcher m1(cfg), m2(cfg);
+  auto replay = [&w](dyn::DynamicMatcher& dm) {
+    std::vector<EdgeId> live(w.master.size(), kInvalidEdge);
+    for (const auto& step : w.steps) {
+      if (step.is_insert) {
+        graph::EdgeBatch chunk;
+        for (std::size_t i : step.edges) chunk.add(w.master.edge(i));
+        auto ids = dm.insert_edges(chunk);
+        for (std::size_t j = 0; j < ids.size(); ++j)
+          live[step.edges[j]] = ids[j];
+      } else {
+        std::vector<EdgeId> ids;
+        for (std::size_t i : step.edges) ids.push_back(live[i]);
+        dm.delete_edges(ids);
+      }
+    }
+  };
+  replay(m1);
+  replay(m2);
+  EXPECT_EQ(m1.matching(), m2.matching());
+  EXPECT_EQ(m1.cumulative_stats().work_units, m2.cumulative_stats().work_units);
+}
+
+}  // namespace

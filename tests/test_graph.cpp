@@ -1,0 +1,75 @@
+// EdgeBatch / EdgePool storage tests (DESIGN.md S3): free-list recycling
+// and generation tagging are what the dynamic matcher's lazy adjacency
+// relies on, so they get their own coverage.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/edge_batch.h"
+#include "graph/edge_pool.h"
+
+using namespace parmatch;
+using graph::EdgeBatch;
+using graph::EdgeId;
+using graph::EdgePool;
+using graph::VertexId;
+
+namespace {
+
+TEST(EdgeBatch, StoresHyperedgesInOrder) {
+  EdgeBatch b;
+  b.add({1, 2});
+  std::vector<VertexId> tri{5, 6, 7};
+  b.add(std::span<const VertexId>(tri));
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.total_cardinality(), 5u);
+  EXPECT_EQ(b.max_rank(), 3u);
+  EXPECT_EQ(b.vertex_bound(), 8u);
+  ASSERT_EQ(b.edge(0).size(), 2u);
+  EXPECT_EQ(b.edge(0)[0], 1u);
+  EXPECT_EQ(b.edge(1)[2], 7u);
+}
+
+TEST(EdgePool, AddRemoveRecyclesIds) {
+  EdgePool pool(2);
+  EdgeId a = pool.add_edge(std::vector<VertexId>{0, 1});
+  EdgeId b = pool.add_edge(std::vector<VertexId>{2, 3});
+  EXPECT_TRUE(pool.live(a));
+  EXPECT_EQ(pool.live_count(), 2u);
+  EXPECT_EQ(pool.vertex_bound(), 4u);
+
+  pool.remove_edge(a);
+  EXPECT_FALSE(pool.live(a));
+  EXPECT_EQ(pool.live_count(), 1u);
+
+  EdgeId c = pool.add_edge(std::vector<VertexId>{4, 5});
+  EXPECT_EQ(c, a);  // the freed slot is reused...
+  EXPECT_EQ(pool.id_bound(), 2u);  // ...so the id space does not grow
+  EXPECT_EQ(pool.vertices(c)[0], 4u);
+  EXPECT_TRUE(pool.live(b));
+}
+
+TEST(EdgePool, GenerationDetectsStaleReferences) {
+  EdgePool pool(2);
+  EdgeId a = pool.add_edge(std::vector<VertexId>{0, 1});
+  auto gen_before = pool.generation(a);
+  pool.remove_edge(a);
+  EdgeId reused = pool.add_edge(std::vector<VertexId>{2, 3});
+  ASSERT_EQ(reused, a);
+  EXPECT_NE(pool.generation(a), gen_before);  // stale (id, gen) rejectable
+}
+
+TEST(EdgePool, AddEdgesMirrorsBatch) {
+  EdgeBatch b;
+  for (VertexId i = 0; i < 100; ++i) b.add({i, static_cast<VertexId>(i + 1)});
+  EdgePool pool(2);
+  auto ids = pool.add_edges(b);
+  ASSERT_EQ(ids.size(), 100u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    auto vs = pool.vertices(ids[i]);
+    EXPECT_EQ(vs[0], b.edge(i)[0]);
+    EXPECT_EQ(vs[1], b.edge(i)[1]);
+  }
+}
+
+}  // namespace

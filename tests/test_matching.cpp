@@ -1,0 +1,128 @@
+// Static matcher tests (paper Lemma 1.3 / Theorem 3.2): the parallel
+// local-minima rounds must compute exactly the sequential greedy matching
+// for the same samples, be maximal, and fill the eliminator contract.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/generators.h"
+#include "graph/edge_pool.h"
+#include "matching/parallel_greedy.h"
+#include "matching/sequential_greedy.h"
+
+using namespace parmatch;
+using graph::EdgeId;
+using graph::kInvalidEdge;
+using graph::VertexId;
+
+namespace {
+
+struct Instance {
+  graph::EdgePool pool;
+  std::vector<EdgeId> ids;
+};
+
+Instance graph_instance(std::size_t m, std::uint64_t seed) {
+  Instance inst{graph::EdgePool(2), {}};
+  inst.ids = inst.pool.add_edges(
+      gen::erdos_renyi(static_cast<VertexId>(m / 3 + 2), m, seed));
+  return inst;
+}
+
+Instance hyper_instance(std::size_t m, std::size_t r, std::uint64_t seed) {
+  Instance inst{graph::EdgePool(r), {}};
+  inst.ids = inst.pool.add_edges(gen::random_hypergraph(
+      static_cast<VertexId>(m / 2 + r + 1), m, r, seed));
+  return inst;
+}
+
+void check_valid_and_maximal(const graph::EdgePool& pool,
+                             const std::vector<EdgeId>& ids,
+                             const matching::MatchResult& r) {
+  std::vector<EdgeId> taken(pool.vertex_bound(), kInvalidEdge);
+  for (EdgeId e : r.matched)
+    for (VertexId v : pool.vertices(e)) {
+      ASSERT_EQ(taken[v], kInvalidEdge) << "vertex matched twice";
+      taken[v] = e;
+    }
+  for (EdgeId e : ids) {
+    bool blocked = false;
+    for (VertexId v : pool.vertices(e)) blocked = blocked || taken[v] != kInvalidEdge;
+    EXPECT_TRUE(blocked) << "edge " << e << " violates maximality";
+  }
+}
+
+void check_eliminators(const graph::EdgePool& pool,
+                       const std::vector<EdgeId>& ids,
+                       const matching::MatchResult& r) {
+  std::vector<std::uint8_t> is_matched(pool.id_bound(), 0);
+  for (EdgeId e : r.matched) is_matched[e] = 1;
+  for (EdgeId e : ids) {
+    EdgeId d = r.eliminator[e];
+    ASSERT_NE(d, kInvalidEdge);
+    if (is_matched[e]) {
+      EXPECT_EQ(d, e);  // matched edges eliminate themselves
+      continue;
+    }
+    EXPECT_TRUE(is_matched[d]);
+    EXPECT_LT(r.samples[d], r.samples[e]);  // eliminator came first
+    bool shares = false;  // and shares a vertex
+    for (VertexId u : pool.vertices(e))
+      for (VertexId v : pool.vertices(d)) shares = shares || u == v;
+    EXPECT_TRUE(shares);
+  }
+}
+
+TEST(StaticMatching, ParallelEqualsSequentialOnGraphs) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    auto inst = graph_instance(4'000, seed);
+    auto par = matching::parallel_greedy_match(inst.pool, inst.ids, 100 + seed);
+    auto seq = matching::sequential_greedy_match(inst.pool, inst.ids, 100 + seed);
+    EXPECT_EQ(par.matched, seq.matched);
+    EXPECT_EQ(par.eliminator, seq.eliminator);
+  }
+}
+
+TEST(StaticMatching, ParallelEqualsSequentialOnHypergraphs) {
+  for (std::size_t r : {3ul, 5ul}) {
+    auto inst = hyper_instance(2'000, r, 7 * r);
+    auto par = matching::parallel_greedy_match(inst.pool, inst.ids, r);
+    auto seq = matching::sequential_greedy_match(inst.pool, inst.ids, r);
+    EXPECT_EQ(par.matched, seq.matched);
+  }
+}
+
+TEST(StaticMatching, MaximalAndValid) {
+  auto inst = graph_instance(6'000, 9);
+  auto r = matching::parallel_greedy_match(inst.pool, inst.ids, 42);
+  EXPECT_GT(r.matched.size(), 0u);
+  EXPECT_GE(r.rounds, 1u);
+  check_valid_and_maximal(inst.pool, inst.ids, r);
+  check_eliminators(inst.pool, inst.ids, r);
+}
+
+TEST(StaticMatching, HypergraphMaximalAndValid) {
+  auto inst = hyper_instance(3'000, 4, 13);
+  auto r = matching::parallel_greedy_match(inst.pool, inst.ids, 5);
+  check_valid_and_maximal(inst.pool, inst.ids, r);
+  check_eliminators(inst.pool, inst.ids, r);
+}
+
+TEST(StaticMatching, DifferentSeedsDifferentMatchings) {
+  auto inst = graph_instance(4'000, 21);
+  auto a = matching::parallel_greedy_match(inst.pool, inst.ids, 1);
+  auto b = matching::parallel_greedy_match(inst.pool, inst.ids, 2);
+  EXPECT_NE(a.matched, b.matched);  // astronomically unlikely to collide
+  // Any two maximal matchings of one hypergraph are within a factor r = 2.
+  EXPECT_LE(a.matched.size(), 2 * b.matched.size());
+  EXPECT_LE(b.matched.size(), 2 * a.matched.size());
+}
+
+TEST(StaticMatching, EmptyInput) {
+  graph::EdgePool pool(2);
+  auto r = matching::parallel_greedy_match(pool, {}, 1);
+  EXPECT_TRUE(r.matched.empty());
+  EXPECT_EQ(r.rounds, 0u);
+}
+
+}  // namespace

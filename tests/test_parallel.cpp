@@ -1,0 +1,65 @@
+// Scheduler / parallel_for tests (DESIGN.md S2).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+#include "parallel/scheduler.h"
+
+using namespace parmatch;
+
+namespace {
+
+TEST(Parallel, CoversEveryIndexExactlyOnce) {
+  std::size_t n = 1'000'003;  // deliberately not a multiple of any grain
+  std::vector<std::uint8_t> hit(n, 0);
+  parallel::parallel_for(0, n, [&](std::size_t i) { ++hit[i]; });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hit[i], 1) << i;
+}
+
+TEST(Parallel, RespectsLoAndHi) {
+  std::atomic<std::uint64_t> sum{0};
+  parallel::parallel_for(100, 200, [&](std::size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), (100ull + 199) * 100 / 2);  // sum of 100..199
+}
+
+TEST(Parallel, EmptyAndSingletonRanges) {
+  int count = 0;
+  parallel::parallel_for(5, 5, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  parallel::parallel_for(5, 6, [&](std::size_t i) {
+    EXPECT_EQ(i, 5u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Parallel, NestedLoopsRunSequentiallyAndCorrectly) {
+  std::size_t n = 64;
+  std::vector<std::uint32_t> out(n * n, 0);
+  parallel::parallel_for(0, n, [&](std::size_t i) {
+    parallel::parallel_for(0, n, [&](std::size_t j) { out[i * n + j] = 1; });
+  });
+  for (auto v : out) ASSERT_EQ(v, 1u);
+}
+
+TEST(Parallel, BlockedVariantSeesContiguousChunks) {
+  std::size_t n = 100'000;
+  std::vector<std::uint8_t> hit(n, 0);
+  parallel::parallel_for_blocked(0, n, [&](std::size_t b, std::size_t e) {
+    ASSERT_LE(b, e);
+    for (std::size_t i = b; i < e; ++i) ++hit[i];
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hit[i], 1) << i;
+}
+
+TEST(Parallel, NumWorkersIsPositiveAndStable) {
+  int w = parallel::num_workers();
+  EXPECT_GE(w, 1);
+  EXPECT_EQ(parallel::num_workers(), w);
+}
+
+}  // namespace

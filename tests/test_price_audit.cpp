@@ -1,0 +1,93 @@
+// Price-audit tests (paper Lemmas 3.3, 3.4, 5.8): every full teardown pays
+// exactly m regardless of order, and payment is positive exactly on early
+// deletes (edge removed while its eliminator is still alive).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "gen/generators.h"
+#include "graph/edge_pool.h"
+#include "matching/parallel_greedy.h"
+#include "matching/price_audit.h"
+#include "prims/permutation.h"
+
+using namespace parmatch;
+using graph::EdgeId;
+
+namespace {
+
+struct Instance {
+  graph::EdgePool pool;
+  std::vector<EdgeId> ids;
+  matching::MatchResult match;
+};
+
+Instance make(std::uint64_t seed) {
+  Instance inst{graph::EdgePool(2), {}, {}};
+  inst.ids = inst.pool.add_edges(gen::erdos_renyi(700, 3'000, seed));
+  inst.match = matching::parallel_greedy_match(inst.pool, inst.ids, seed + 50);
+  return inst;
+}
+
+TEST(PriceAudit, FullTeardownPaysExactlyM_AnyOrder) {
+  auto inst = make(1);
+  // Ascending, descending, and shuffled id orders.
+  std::vector<std::vector<EdgeId>> orders;
+  auto asc = inst.ids;
+  std::sort(asc.begin(), asc.end());
+  orders.push_back(asc);
+  auto desc = asc;
+  std::reverse(desc.begin(), desc.end());
+  orders.push_back(desc);
+  auto perm = prims::random_permutation(inst.ids.size(), 99);
+  std::vector<EdgeId> shuffled(inst.ids.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) shuffled[i] = inst.ids[perm[i]];
+  orders.push_back(shuffled);
+  // Adaptive matched-first order: Lemma 3.4 is an every-run identity, so it
+  // must hold even for an adversary that reads the matching.
+  std::vector<EdgeId> matched_first = inst.match.matched;
+  for (EdgeId e : asc)
+    if (inst.match.eliminator[e] != e) matched_first.push_back(e);
+  orders.push_back(matched_first);
+
+  for (const auto& order : orders) {
+    matching::PriceAuditor audit(inst.match);
+    for (EdgeId e : order) audit.on_delete(e);
+    EXPECT_EQ(audit.total_payment(),
+              static_cast<std::int64_t>(inst.ids.size()));
+  }
+}
+
+TEST(PriceAudit, PaymentPositiveIffEarly) {
+  auto inst = make(2);
+  auto perm = prims::random_permutation(inst.ids.size(), 7);
+  matching::PriceAuditor audit(inst.match);
+  std::vector<std::uint8_t> deleted(inst.pool.id_bound(), 0);
+  for (std::size_t t = 0; t < perm.size(); ++t) {
+    EdgeId e = inst.ids[perm[t]];
+    bool early = !deleted[inst.match.eliminator[e]];
+    auto pay = audit.on_delete(e);
+    EXPECT_EQ(pay > 0, early) << "step " << t;
+    deleted[e] = 1;
+  }
+}
+
+TEST(PriceAudit, MatchedDeleteCollectsItsStar) {
+  auto inst = make(3);
+  // Deleting a matched edge first collects one coin per edge it eliminates
+  // (still live and unpaid) plus its own.
+  EdgeId root = inst.match.matched.front();
+  std::int64_t star = 1;
+  for (EdgeId e : inst.ids)
+    if (e != root && inst.match.eliminator[e] == root) ++star;
+  matching::PriceAuditor audit(inst.match);
+  EXPECT_EQ(audit.on_delete(root), star);
+  // Every edge of that star is now paid: late deletes are free.
+  for (EdgeId e : inst.ids)
+    if (e != root && inst.match.eliminator[e] == root) {
+      EXPECT_EQ(audit.on_delete(e), 0);
+    }
+}
+
+}  // namespace

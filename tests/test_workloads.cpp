@@ -1,0 +1,130 @@
+// Workload-script tests (DESIGN.md Section 4): scripts must be well-formed
+// (inserts before deletes, no double-insert/double-delete of a live index)
+// and deterministic in the seed -- the baselines comparison depends on
+// replaying identical scripts.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baseline/naive_dynamic.h"
+#include "baseline/recompute.h"
+#include "baseline/targeted.h"
+#include "gen/generators.h"
+#include "gen/workloads.h"
+
+using namespace parmatch;
+
+namespace {
+
+void check_well_formed(const gen::Workload& w) {
+  std::vector<std::uint8_t> live(w.master.size(), 0);
+  for (const auto& step : w.steps) {
+    for (std::size_t i : step.edges) {
+      ASSERT_LT(i, w.master.size());
+      if (step.is_insert) {
+        ASSERT_FALSE(live[i]) << "index " << i << " inserted while live";
+        live[i] = 1;
+      } else {
+        ASSERT_TRUE(live[i]) << "index " << i << " deleted while dead";
+        live[i] = 0;
+      }
+    }
+  }
+}
+
+TEST(Workloads, ChurnIsWellFormedAndSized) {
+  auto w = gen::churn(gen::erdos_renyi(200, 1'000, 3), 64, 0.5, 7);
+  check_well_formed(w);
+  EXPECT_GE(w.total_updates(), 3u * 1'000);
+  // Deterministic in the seed.
+  auto w2 = gen::churn(gen::erdos_renyi(200, 1'000, 3), 64, 0.5, 7);
+  ASSERT_EQ(w.steps.size(), w2.steps.size());
+  for (std::size_t i = 0; i < w.steps.size(); ++i) {
+    EXPECT_EQ(w.steps[i].is_insert, w2.steps[i].is_insert);
+    EXPECT_EQ(w.steps[i].edges, w2.steps[i].edges);
+  }
+}
+
+TEST(Workloads, ChurnRespectsInsertBias) {
+  auto heavy = gen::churn(gen::erdos_renyi(200, 2'000, 5), 64, 0.3, 9);
+  check_well_formed(heavy);
+  std::size_t ins = 0, del = 0;
+  for (const auto& s : heavy.steps)
+    (s.is_insert ? ins : del) += s.edges.size();
+  EXPECT_GT(del, ins / 2);  // deletion-heavy mix actually deletes a lot
+}
+
+TEST(Workloads, ChurnTerminatesWhenBatchExceedsMaster) {
+  // Regression: batch > m used to force empty insert steps forever.
+  auto w = gen::churn(gen::erdos_renyi(50, 100, 3), 128, 0.5, 7);
+  check_well_formed(w);
+  EXPECT_GE(w.total_updates(), 3u * 100);
+  for (const auto& s : w.steps) EXPECT_FALSE(s.edges.empty());
+}
+
+TEST(Workloads, SlidingWindowZeroWindowIsClamped) {
+  // Regression: window 0 used to delete batches before inserting them.
+  auto w = gen::sliding_window(gen::hub_graph(1, 200), 64, 0);
+  check_well_formed(w);
+  EXPECT_EQ(w.total_updates(), 2 * w.master.size());
+}
+
+TEST(Workloads, SlidingWindowDrainsToEmpty) {
+  auto w = gen::sliding_window(gen::hub_graph(4, 300), 100, 3);
+  check_well_formed(w);
+  std::vector<std::uint8_t> live(w.master.size(), 0);
+  for (const auto& step : w.steps)
+    for (std::size_t i : step.edges) live[i] = step.is_insert ? 1 : 0;
+  for (auto l : live) EXPECT_EQ(l, 0);  // everything eventually deleted
+  EXPECT_EQ(w.total_updates(), 2 * w.master.size());
+}
+
+TEST(Workloads, TargetedTeardownDeletesFolkloreMatchesFirst) {
+  auto base = gen::hub_graph(1, 500);
+  auto w = baseline::targeted_teardown(base);
+  check_well_formed(w);
+  ASSERT_GE(w.steps.size(), 2u);
+  EXPECT_TRUE(w.steps.front().is_insert);
+  EXPECT_EQ(w.steps.front().edges.size(), w.master.size());
+  // For a single star, first-come matching matches exactly edge 0, so the
+  // first deletion must be master index 0.
+  ASSERT_FALSE(w.steps[1].is_insert);
+  EXPECT_EQ(w.steps[1].edges.front(), 0u);
+  EXPECT_EQ(w.total_updates(), 2 * w.master.size());
+}
+
+TEST(Baselines, NaiveMatcherStaysMaximalUnderTeardown) {
+  auto w = baseline::targeted_teardown(gen::erdos_renyi(100, 400, 3));
+  baseline::NaiveDynamicMatcher naive(2);
+  std::vector<graph::EdgeId> live(w.master.size(), graph::kInvalidEdge);
+  for (const auto& step : w.steps) {
+    if (step.is_insert) {
+      graph::EdgeBatch chunk;
+      for (std::size_t i : step.edges) chunk.add(w.master.edge(i));
+      auto ids = naive.insert_edges(chunk);
+      for (std::size_t j = 0; j < ids.size(); ++j)
+        live[step.edges[j]] = ids[j];
+    } else {
+      std::vector<graph::EdgeId> ids;
+      for (std::size_t i : step.edges) {
+        ids.push_back(live[i]);
+        live[i] = graph::kInvalidEdge;
+      }
+      naive.delete_edges(ids);
+    }
+  }
+  EXPECT_EQ(naive.pool().live_count(), 0u);
+  EXPECT_TRUE(naive.matching().empty());
+  EXPECT_GT(naive.edges_scanned(), 0u);
+}
+
+TEST(Baselines, RecomputeMatcherTracksLiveSet) {
+  baseline::RecomputeMatcher rec(2, 5);
+  auto ids = rec.insert_edges(gen::erdos_renyi(100, 400, 7));
+  EXPECT_GT(rec.matching().size(), 0u);
+  rec.delete_edges(ids);
+  EXPECT_TRUE(rec.matching().empty());
+  EXPECT_EQ(rec.pool().live_count(), 0u);
+}
+
+}  // namespace
