@@ -7,6 +7,7 @@
 // use google-benchmark directly.
 #pragma once
 
+#include <cctype>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +33,128 @@ inline std::uint64_t seed_from_args(int argc, char** argv,
       return std::strtoull(argv[i] + 7, nullptr, 10);
   }
   return def;
+}
+
+// Machine-readable recording of the table benches (`--json[=path]`). When
+// enabled, every Table mirrors its headers and rows into a sink that is
+// written as one JSON document at process exit -- default path
+// BENCH_<NAME>.json -- so E1/E3/E4 runs can accumulate a perf trajectory
+// next to the human-readable tables. Cells are emitted as JSON numbers when
+// they parse as one, else as strings.
+class JsonSink {
+ public:
+  static JsonSink& instance() {
+    static JsonSink s;
+    return s;
+  }
+
+  // Parses --json / --json=path; `name` is the bench tag (e.g. "e3").
+  void configure(int argc, char** argv, const std::string& name,
+                 std::uint64_t seed) {
+    name_ = name;
+    seed_ = seed;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        path_ = default_path();
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        path_ = argv[i] + 7;
+      }
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void begin_table(const std::vector<std::string>& headers) {
+    if (!enabled()) return;
+    tables_.push_back(TableRec{headers, {}});
+  }
+
+  void add_row(const std::vector<std::string>& cells) {
+    if (!enabled() || tables_.empty()) return;
+    tables_.back().rows.push_back(cells);
+  }
+
+  ~JsonSink() { flush(); }
+
+ private:
+  struct TableRec {
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  std::string default_path() const {
+    std::string up = name_;
+    for (char& c : up) c = static_cast<char>(std::toupper(c));
+    return "BENCH_" + up + ".json";
+  }
+
+  static bool is_number(const std::string& s) {
+    if (s.empty()) return false;
+    char* end = nullptr;
+    std::strtod(s.c_str(), &end);
+    return end == s.c_str() + s.size();
+  }
+
+  static void emit_cell(FILE* f, const std::string& c) {
+    if (is_number(c)) {
+      std::fprintf(f, "%s", c.c_str());
+      return;
+    }
+    std::fputc('"', f);
+    for (char ch : c) {
+      if (ch == '"' || ch == '\\') std::fputc('\\', f);
+      std::fputc(ch, f);
+    }
+    std::fputc('"', f);
+  }
+
+  void flush() {
+    if (!enabled()) return;
+    FILE* f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"seed\":%llu,\"tables\":[",
+                 name_.c_str(), static_cast<unsigned long long>(seed_));
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      const TableRec& tr = tables_[t];
+      std::fprintf(f, "%s{\"headers\":[", t ? "," : "");
+      for (std::size_t i = 0; i < tr.headers.size(); ++i) {
+        if (i) std::fputc(',', f);
+        emit_cell(f, tr.headers[i]);
+      }
+      std::fprintf(f, "],\"rows\":[");
+      for (std::size_t r = 0; r < tr.rows.size(); ++r) {
+        std::fprintf(f, "%s[", r ? "," : "");
+        for (std::size_t i = 0; i < tr.rows[r].size(); ++i) {
+          if (i) std::fputc(',', f);
+          emit_cell(f, tr.rows[r][i]);
+        }
+        std::fputc(']', f);
+      }
+      std::fprintf(f, "]}");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("(json written to %s)\n", path_.c_str());
+    path_.clear();
+  }
+
+  std::string name_;
+  std::string path_;
+  std::uint64_t seed_ = 0;
+  std::vector<TableRec> tables_;
+};
+
+// One call at the top of every table bench: parses --seed and --json and
+// returns the seed. Touching JsonSink::instance() here also guarantees the
+// sink outlives every Table.
+inline std::uint64_t bench_init(int argc, char** argv, const char* name,
+                                std::uint64_t default_seed = 42) {
+  std::uint64_t seed = seed_from_args(argc, argv, default_seed);
+  JsonSink::instance().configure(argc, argv, name, seed);
+  return seed;
 }
 
 // Drives a workload through any matcher with insert_edges/delete_edges;
@@ -60,7 +183,8 @@ double drive_workload(M& m, const gen::Workload& w) {
   return t.elapsed();
 }
 
-// Fixed-width table printing, one row per parameter point.
+// Fixed-width table printing, one row per parameter point. Rows are also
+// mirrored into the JsonSink when --json is active.
 class Table {
  public:
   explicit Table(std::vector<std::string> headers)
@@ -70,12 +194,14 @@ class Table {
     for (std::size_t i = 0; i < headers_.size(); ++i) std::printf("%16s",
         "---------------");
     std::printf("\n");
+    JsonSink::instance().begin_table(headers_);
   }
 
   void row(const std::vector<std::string>& cells) {
     for (const auto& c : cells) std::printf("%16s", c.c_str());
     std::printf("\n");
     std::fflush(stdout);
+    JsonSink::instance().add_row(cells);
   }
 
   static std::string num(double v, int precision = 3) {

@@ -86,7 +86,7 @@ void run_table(const char* title, std::uint64_t seed,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::uint64_t seed = seed_from_args(argc, argv);
+  std::uint64_t seed = bench_init(argc, argv, "e10");
   std::printf(
       "E10: ablations of Section 5's design choices (gap, heavy factor,\n"
       "     light-only). Claim: the paper's configuration is on the\n"

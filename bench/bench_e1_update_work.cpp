@@ -14,7 +14,7 @@ using namespace parmatch;
 using namespace parmatch::bench;
 
 int main(int argc, char** argv) {
-  std::uint64_t seed = seed_from_args(argc, argv);
+  std::uint64_t seed = bench_init(argc, argv, "e1");
   std::printf(
       "E1: amortized cost per update vs graph size (r=2, batch=1024,\n"
       "    churn p_insert=0.5). Claim: columns flat as n grows 16x.\n\n");

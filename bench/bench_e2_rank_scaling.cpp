@@ -14,7 +14,7 @@ using namespace parmatch;
 using namespace parmatch::bench;
 
 int main(int argc, char** argv) {
-  std::uint64_t seed = seed_from_args(argc, argv);
+  std::uint64_t seed = bench_init(argc, argv, "e2");
   std::printf(
       "E2: amortized cost per edge update vs hyperedge rank r\n"
       "    (n=16384, m=49152, batch=512, churn p=0.45 -- deletion heavy).\n"

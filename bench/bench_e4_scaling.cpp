@@ -92,6 +92,9 @@ int main(int argc, char** argv) {
   std::uint64_t seed = seed_from_args(argc, argv);
   if (argc > 1 && std::strcmp(argv[1], "--worker") == 0)
     return run_worker(seed);
+  // JSON recording belongs to the parent only; the re-exec'd workers print
+  // RESULT lines that the parent folds into its Table.
+  JsonSink::instance().configure(argc, argv, "e4", seed);
 
   int hw = static_cast<int>(std::thread::hardware_concurrency());
   if (hw < 1) hw = 1;

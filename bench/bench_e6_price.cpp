@@ -65,7 +65,7 @@ OrderStats measure(const graph::EdgePool& pool,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::uint64_t seed = seed_from_args(argc, argv);
+  std::uint64_t seed = bench_init(argc, argv, "e6");
   std::printf(
       "E6: price per delete (Lemmas 3.3/3.4), 40 seeds, m=12000.\n"
       "    Claim: for oblivious orders the payment per early delete stays\n"

@@ -40,7 +40,7 @@ setcover::ElementBatch random_system(SetId sets, std::size_t elements,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::uint64_t seed = seed_from_args(argc, argv);
+  std::uint64_t seed = bench_init(argc, argv, "e7");
   std::printf(
       "E7: batch-dynamic set cover under element churn (batch=512,\n"
       "    24576 elements over 4096 sets). Claim: cost bounded, ratio <= r.\n\n");

@@ -38,7 +38,7 @@ setcover::ElementBatch random_system(SetId sets, std::size_t elements,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::uint64_t seed = seed_from_args(argc, argv);
+  std::uint64_t seed = bench_init(argc, argv, "e8");
   std::printf(
       "E8: static set cover, r=4. Claim: time linear in total cardinality\n"
       "    m' (us/m' flat), ratio <= r.\n\n");

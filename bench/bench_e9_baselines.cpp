@@ -19,7 +19,7 @@ using namespace parmatch;
 using namespace parmatch::bench;
 
 int main(int argc, char** argv) {
-  std::uint64_t seed = seed_from_args(argc, argv);
+  std::uint64_t seed = bench_init(argc, argv, "e9");
   std::printf(
       "E9a: targeted teardown of one star (adversary tuned to folklore).\n"
       "     Claim: folklore cost grows linearly with degree; ours is flat.\n\n");

@@ -35,16 +35,45 @@
 //    insertions cannot park adversarially useful edges behind stale
 //    matches.
 //
+// Every batch runs as a fixed sequence of data-parallel phases over batch
+// primitives (group_by / filter / claim rounds), never as a per-edge
+// sequential loop:
+//
+//   insert: [P1] draw priorities  [P2] group the batch by endpoint and
+//   apply adjacency appends / live_deg / growth bumps per vertex-group
+//   [P3] classify edges into all-free candidates and steal candidates
+//   [P4] resolve steals with one claim round (CAS-min per endpoint,
+//   winners displace their victims)  [P5] resettle bloated matches
+//   [P6] greedy over the candidates  [P7] settle the freed vertices.
+//
+//   delete: filter live ids -> unmatch deleted matches -> parallel
+//   live_deg decrements -> batch slot free -> settle.
+//
+//   settle round: all pending vertices compact + reservoir-sample
+//   concurrently, sampled edges dedup and redraw priorities, one greedy
+//   claim round; losers resample next round.
+//
+// All randomness is keyed, not sequenced: priority and reservoir draws come
+// from parallel::RngStream keyed by (epoch, position) / (vertex, round), so
+// the structure's entire trajectory -- matching, stats, work counters -- is
+// bit-identical at any worker count (tests/test_thread_determinism.cpp).
+// Shared counters (growth bumps, live_deg decrements, work units) use
+// atomic fetch-add; everything else is per-vertex or per-edge ownership.
+//
 // Complexity contract per batch of k updates: expected O(k * r^3) amortized
 // work, O(log^3 m) depth whp (settle rounds x greedy claim rounds x O(log)
 // primitives); lazy incidence compaction charges each dead entry once to
-// the deletion that killed it.
+// the deletion that killed it. BatchStats::measured_depth instruments the
+// depth claim directly: every phase charges parallel::model_depth(n).
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -53,7 +82,12 @@
 #include "graph/edge_pool.h"
 #include "dyn/stats.h"
 #include "matching/parallel_greedy.h"
+#include "parallel/parallel_for.h"
+#include "parallel/rng_stream.h"
 #include "prims/filter.h"
+#include "prims/group_by.h"
+#include "prims/radix_sort.h"
+#include "prims/reduce.h"
 #include "util/rng.h"
 
 namespace parmatch::dyn {
@@ -75,65 +109,71 @@ class DynamicMatcher {
  public:
   DynamicMatcher() : DynamicMatcher(Config{}) {}
   explicit DynamicMatcher(const Config& cfg)
-      : cfg_(cfg), pool_(cfg.max_rank), rng_(cfg.seed ^ 0xA02B'DBF7'BB3C'0A7ull) {}
+      : cfg_(cfg),
+        pool_(cfg.max_rank),
+        insert_pri_(hash64(cfg.seed ^ 0xA02B'DBF7'BB3C'0A7ull, 1)),
+        settle_draw_(hash64(cfg.seed ^ 0xA02B'DBF7'BB3C'0A7ull, 2)),
+        settle_pri_(hash64(cfg.seed ^ 0xA02B'DBF7'BB3C'0A7ull, 3)) {}
 
   // Inserts a batch; returns the id assigned to each edge, batch order.
   std::vector<EdgeId> insert_edges(const graph::EdgeBatch& batch) {
     batch_ = BatchStats{};
+    std::uint64_t epoch = ++insert_epoch_;
     auto ids = pool_.add_edges(batch);
     ensure_bounds();
-    stats_.inserts += ids.size();
+    std::size_t k = ids.size();
+    stats_.inserts += k;
     stats_.work_units += batch.total_cardinality();
+    if (k == 0) return ids;
 
-    std::vector<EdgeId> candidates;
+    // P1: every inserted edge draws its sample, keyed (batch epoch, slot).
+    charge_phase(k);
+    parallel::parallel_for(
+        0, k, [&](std::size_t i) { pri_[ids[i]] = insert_pri_.word(epoch, i); });
+    stats_.samples_created += k;
+
+    // P2: adjacency -- group the flat (endpoint, edge-ref) incidence of the
+    // batch by endpoint; each vertex-group is then applied by one owner, so
+    // appends and live_deg bumps race-free; growth bumps target per-edge
+    // counters shared between groups and use fetch-add.
+    std::vector<EdgeId> bloated = apply_adjacency(batch, ids);
+
+    // P3: classify against the pre-batch matching. An edge is a greedy
+    // candidate if every endpoint is free, a steal candidate if some
+    // endpoint is taken and its sample beats every match it touches.
+    charge_phases(2, k);
+    auto candidates =
+        prims::filter(std::span<const EdgeId>(ids),
+                      [&](EdgeId e) { return all_endpoints_free(e); });
+    auto stealers =
+        prims::filter(std::span<const EdgeId>(ids), [&](EdgeId e) {
+          bool any_taken = false;
+          for (VertexId v : pool_.vertices(e)) {
+            EdgeId t = taken_by_[v];
+            if (t == kInvalid) continue;
+            any_taken = true;
+            if (!matching::detail::beats(pri_[e], e, pri_[t], t)) return false;
+          }
+          return any_taken;
+        });
+
+    // P4: steal claim round -- winners displace their victims.
     std::vector<VertexId> freed;
-    std::vector<EdgeId> bloated;
-    for (EdgeId id : ids) {
-      pri_[id] = rng_.next();
-      ++stats_.samples_created;
-      bool all_free = true;
-      for (VertexId v : pool_.vertices(id)) {
-        adj_[v].push_back(pool_.packed_ref(id));
-        ++live_deg_[v];
-        EdgeId t = taken_by_[v];
-        if (t == kInvalid) continue;
-        all_free = false;
-        // The neighborhood of match t grew; check the level bound.
-        if (!cfg_.light_only && ++growth_[t] == threshold_[t] + 1)
-          bloated.push_back(t);
-      }
-      if (all_free) {
-        candidates.push_back(id);
-        continue;
-      }
-      // Steal: this edge's sample beats every match it touches.
-      bool steal = true;
-      for (VertexId v : pool_.vertices(id)) {
-        EdgeId t = taken_by_[v];
-        if (t != kInvalid && t != id &&
-            !matching::detail::beats(pri_[id], id, pri_[t], t))
-          steal = false;
-      }
-      if (steal) {
-        for (VertexId v : pool_.vertices(id)) {
-          EdgeId t = taken_by_[v];
-          if (t != kInvalid && t != id) unmatch(t, freed);
-        }
-        commit_match(id);
-        ++stats_.stolen;
-      }
-    }
+    resolve_steals(stealers, freed);
+
+    // P5: resettle bloated matches through the random-sampling path (not
+    // run_greedy with the stale sample): the whole point is a fresh draw
+    // over the grown neighborhood, so the freed vertices go through
+    // settle() below.
     for (EdgeId b : bloated) {
-      if (taken_by_[pool_.vertices(b)[0]] != b) continue;  // already displaced
+      if (taken_by_[pool_.vertices(b)[0]] != b) continue;  // displaced
       ++stats_.bloated;
-      // Resettle through the random-sampling path (not run_greedy with the
-      // stale sample): the whole point is a fresh draw over the grown
-      // neighborhood, so the freed vertices go through settle() below.
       unmatch(b, freed);
     }
 
     run_greedy(std::move(candidates));
     settle(std::move(freed));
+    finish_batch();
     return ids;
   }
 
@@ -141,24 +181,57 @@ class DynamicMatcher {
   void delete_edges(const std::vector<EdgeId>& ids) {
     batch_ = BatchStats{};
     stats_.deletes += ids.size();
-    std::vector<VertexId> freed;
-    for (EdgeId id : ids) {
-      if (!pool_.live(id)) continue;
-      stats_.work_units += pool_.rank(id);
-      if (taken_by_[pool_.vertices(id)[0]] == id) unmatch(id, freed);
-      for (VertexId v : pool_.vertices(id)) --live_deg_[v];
-      pool_.remove_edge(id);
+    charge_phase(ids.size());
+    auto lv = prims::filter(std::span<const EdgeId>(ids),
+                            [&](EdgeId id) { return pool_.live(id); });
+    // The same id may legally appear more than once in a batch; deletion
+    // order is immaterial, so dedup by sorting.
+    charge_phases(kRadixPhases, lv.size());
+    prims::radix_sort(lv, [](EdgeId e) { return std::uint64_t(e); }, 32);
+    lv.erase(std::unique(lv.begin(), lv.end()), lv.end());
+    if (lv.empty()) {
+      finish_batch();
+      return;
     }
+
+    // Blocked map + reduce: a single shared atomic would serialize the
+    // phase on one cache line.
+    std::vector<std::size_t> ranks(lv.size());
+    charge_phases(2, lv.size());
+    parallel::parallel_for(0, lv.size(), [&](std::size_t i) {
+      ranks[i] = pool_.rank(lv[i]);
+    });
+    stats_.work_units += prims::reduce(std::span<const std::size_t>(ranks));
+
+    // Deleted matches free their vertices (matched edges are disjoint, so
+    // the victim set needs no dedup).
+    charge_phase(lv.size());
+    auto victims =
+        prims::filter(std::span<const EdgeId>(lv), [&](EdgeId e) {
+          return taken_by_[pool_.vertices(e)[0]] == e;
+        });
+    std::vector<VertexId> freed;
+    for (EdgeId e : victims) unmatch(e, freed);
+
+    // live_deg decrements: an endpoint may lose several edges of this
+    // batch, hence fetch-sub rather than per-vertex ownership.
+    charge_phase(lv.size());
+    parallel::parallel_for(0, lv.size(), [&](std::size_t i) {
+      for (VertexId v : pool_.vertices(lv[i]))
+        std::atomic_ref<std::uint32_t>(live_deg_[v])
+            .fetch_sub(1, std::memory_order_relaxed);
+    });
+    charge_phase(lv.size());
+    pool_.remove_edges(lv);
     settle(std::move(freed));
+    finish_batch();
   }
 
-  // The current matching (ascending ids). O(id_bound).
+  // The current matching (ascending ids). O(|M| log |M|): the matched set
+  // is maintained explicitly, never rebuilt by scanning the id space.
   std::vector<EdgeId> matching() const {
-    std::vector<EdgeId> out;
-    out.reserve(matched_count_);
-    for (EdgeId id = 0; id < pool_.id_bound(); ++id)
-      if (pool_.live(id) && taken_by_[pool_.vertices(id)[0]] == id)
-        out.push_back(id);
+    std::vector<EdgeId> out(matched_edges_);
+    std::sort(out.begin(), out.end());
     return out;
   }
 
@@ -166,7 +239,7 @@ class DynamicMatcher {
     return pool_.live(id) && taken_by_[pool_.vertices(id)[0]] == id;
   }
 
-  std::size_t matched_count() const { return matched_count_; }
+  std::size_t matched_count() const { return matched_edges_.size(); }
   const graph::EdgePool& pool() const { return pool_; }
   const Config& config() const { return cfg_; }
   const CumulativeStats& cumulative_stats() const { return stats_; }
@@ -182,6 +255,7 @@ class DynamicMatcher {
       growth_.resize(ib, 0);
       threshold_.resize(ib, 0);
       settle_size_.resize(ib, 0);
+      matched_pos_.resize(ib, 0);
     }
     std::size_t vb = pool_.vertex_bound();
     if (taken_by_.size() < vb) {
@@ -192,22 +266,66 @@ class DynamicMatcher {
     }
   }
 
+  // ---- depth instrumentation ------------------------------------------
+
+  // Every data-parallel phase charges its binary-forking span; the sum is
+  // the batch's measured depth (dyn/stats.h). Multi-pass primitives (radix
+  // sort, scan, semisort) charge one phase per internal parallel loop.
+  void charge_phase(std::size_t n) { charge_phases(1, n); }
+
+  void charge_phases(std::size_t count, std::size_t n) {
+    batch_.parallel_phases += count;
+    batch_.measured_depth += count * parallel::model_depth(n);
+  }
+
+  // A 32-bit-key radix sort is ceil(32/8) passes of histogram + scatter.
+  static constexpr std::size_t kRadixPhases = 8;
+
+  // prims::group_by = pair fill + radix over the key bits actually used.
+  std::size_t group_by_phases(std::uint64_t max_key) const {
+    return 1 + 2 * ((std::bit_width(max_key | 1) + 7) / 8);
+  }
+
+  void finish_batch() {
+    if (batch_.measured_depth > stats_.max_batch_depth)
+      stats_.max_batch_depth = batch_.measured_depth;
+  }
+
   // ---- match bookkeeping ----------------------------------------------
 
-  void commit_match(EdgeId e) {
+  // Per-edge/per-vertex state of a new match. Safe to run in parallel over
+  // a vertex-disjoint winner set; the matched-edge set itself is appended
+  // sequentially by the caller (matched_add).
+  void commit_arrays(EdgeId e) {
     std::size_t nbhd = 0;
     for (VertexId v : pool_.vertices(e)) {
       taken_by_[v] = e;
       nbhd += live_deg_[v];
     }
-    ++matched_count_;
     growth_[e] = 0;
     settle_size_[e] = static_cast<std::uint32_t>(nbhd);
     // Level quantization: remember the settle size only up to the gap.
+    // Saturate instead of wrapping: a pathological neighborhood (or a huge
+    // heavy_factor) must yield "never bloats", not a tiny threshold.
+    constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
     std::uint64_t gap = cfg_.level_gap < 2 ? 2 : cfg_.level_gap;
     std::uint64_t cap = gap;
-    while (cap < nbhd) cap *= gap;
-    threshold_[e] = cfg_.heavy_factor * cap;
+    bool saturated = false;
+    while (cap < nbhd) {
+      if (cap > kMax / gap) {
+        saturated = true;
+        break;
+      }
+      cap *= gap;
+    }
+    std::uint64_t hf = cfg_.heavy_factor;
+    threshold_[e] =
+        (saturated || (hf != 0 && cap > kMax / hf)) ? kMax : hf * cap;
+  }
+
+  void matched_add(EdgeId e) {
+    matched_pos_[e] = static_cast<std::uint32_t>(matched_edges_.size());
+    matched_edges_.push_back(e);
   }
 
   void unmatch(EdgeId e, std::vector<VertexId>& freed) {
@@ -217,7 +335,11 @@ class DynamicMatcher {
         freed.push_back(v);
       }
     }
-    --matched_count_;
+    std::uint32_t idx = matched_pos_[e];
+    EdgeId last = matched_edges_.back();
+    matched_edges_[idx] = last;
+    matched_pos_[last] = idx;
+    matched_edges_.pop_back();
   }
 
   bool all_endpoints_free(EdgeId e) const {
@@ -226,27 +348,148 @@ class DynamicMatcher {
     return true;
   }
 
+  // ---- insert phases ---------------------------------------------------
+
+  // P2 of insert_edges: semisort the batch incidence by endpoint and let
+  // one owner per vertex-group apply appends and live_deg; growth bumps
+  // fetch-add shared per-edge counters and report the (unique) group that
+  // observed the bloat-threshold crossing. Returns the bloated edges in
+  // ascending id order, so downstream processing is schedule-independent.
+  std::vector<EdgeId> apply_adjacency(const graph::EdgeBatch& batch,
+                                      const std::vector<EdgeId>& ids) {
+    std::size_t k = ids.size();
+    std::size_t total = batch.total_cardinality();
+    std::vector<std::uint32_t> offs(k);
+    charge_phase(k);
+    parallel::parallel_for(
+        0, k, [&](std::size_t i) {
+          offs[i] = static_cast<std::uint32_t>(batch.edge(i).size());
+        });
+    charge_phases(2, k);  // scan = up-sweep + down-sweep
+    prims::scan_exclusive(std::span<std::uint32_t>(offs));
+    std::vector<VertexId> gkeys(total);
+    std::vector<std::uint64_t> gvals(total);
+    charge_phase(total);
+    parallel::parallel_for(0, k, [&](std::size_t i) {
+      auto vs = batch.edge(i);
+      std::uint64_t ref = pool_.packed_ref(ids[i]);
+      std::uint32_t base = offs[i];
+      for (std::size_t j = 0; j < vs.size(); ++j) {
+        gkeys[base + j] = vs[j];
+        gvals[base + j] = ref;
+      }
+    });
+    charge_phases(group_by_phases(pool_.vertex_bound()), total);
+    auto groups = prims::group_by<VertexId, std::uint64_t>(gkeys, gvals);
+
+    std::size_t ng = groups.num_groups();
+    std::vector<EdgeId> bloat_mark(ng, kInvalid);
+    charge_phase(ng);
+    parallel::parallel_for(0, ng, [&](std::size_t g) {
+      VertexId v = groups.keys[g];
+      auto vals = groups.group(g);
+      auto& list = adj_[v];
+      list.insert(list.end(), vals.begin(), vals.end());
+      std::uint32_t cnt = static_cast<std::uint32_t>(vals.size());
+      live_deg_[v] += cnt;
+      EdgeId t = taken_by_[v];
+      if (t == kInvalid || cfg_.light_only) return;
+      // The neighborhood of match t grew; check the level bound. Exactly
+      // one fetch-add interval straddles the threshold, so each bloated
+      // edge is reported by exactly one group.
+      std::uint64_t before = std::atomic_ref<std::uint32_t>(growth_[t])
+                                 .fetch_add(cnt, std::memory_order_relaxed);
+      if (before <= threshold_[t] && before + cnt > threshold_[t])
+        bloat_mark[g] = t;
+    });
+    charge_phase(ng);
+    auto bloated = prims::filter(std::span<const EdgeId>(bloat_mark),
+                                 [](EdgeId e) { return e != kInvalid; });
+    std::sort(bloated.begin(), bloated.end());
+    return bloated;
+  }
+
+  // P4 of insert_edges: one claim round over the steal candidates. Each
+  // stealer CAS-mins itself into every endpoint slot; an edge owning all
+  // its slots wins, displaces the matches it touches, and commits. Losers
+  // do not retry: any vertex they could still want is either taken by a
+  // better edge or freed into settle(), which restores maximality.
+  void resolve_steals(const std::vector<EdgeId>& stealers,
+                      std::vector<VertexId>& freed) {
+    if (stealers.empty()) return;
+    charge_phase(stealers.size());
+    parallel::parallel_for(0, stealers.size(), [&](std::size_t i) {
+      EdgeId e = stealers[i];
+      for (VertexId v : pool_.vertices(e)) {
+        std::atomic_ref<EdgeId> slot(min_edge_[v]);
+        EdgeId cur = slot.load(std::memory_order_relaxed);
+        while (cur == kInvalid ||
+               matching::detail::beats(pri_[e], e, pri_[cur], cur)) {
+          if (slot.compare_exchange_weak(cur, e, std::memory_order_acq_rel))
+            break;
+        }
+      }
+    });
+    auto winners =
+        prims::filter(std::span<const EdgeId>(stealers), [&](EdgeId e) {
+          for (VertexId v : pool_.vertices(e))
+            if (min_edge_[v] != e) return false;
+          return true;
+        });
+    charge_phase(stealers.size());
+    parallel::parallel_for(0, stealers.size(), [&](std::size_t i) {
+      for (VertexId v : pool_.vertices(stealers[i]))
+        std::atomic_ref<EdgeId>(min_edge_[v])
+            .store(kInvalid, std::memory_order_relaxed);
+    });
+    if (winners.empty()) return;
+    // A victim can touch two winners at different vertices; dedup before
+    // unmatching so each is displaced exactly once.
+    std::vector<EdgeId> victims;
+    for (EdgeId e : winners)
+      for (VertexId v : pool_.vertices(e)) {
+        EdgeId t = taken_by_[v];
+        if (t != kInvalid) victims.push_back(t);
+      }
+    std::sort(victims.begin(), victims.end());
+    victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
+    for (EdgeId t : victims) unmatch(t, freed);
+    charge_phase(winners.size());
+    parallel::parallel_for(0, winners.size(),
+                           [&](std::size_t i) { commit_arrays(winners[i]); });
+    for (EdgeId e : winners) matched_add(e);
+    stats_.stolen += winners.size();
+  }
+
   // ---- greedy over a candidate set ------------------------------------
 
   void run_greedy(std::vector<EdgeId> candidates) {
     if (candidates.empty()) return;
+    charge_phase(candidates.size());
     candidates = prims::filter(std::span<const EdgeId>(candidates),
                                [&](EdgeId e) { return all_endpoints_free(e); });
     if (candidates.empty()) return;
     std::vector<EdgeId> matched;
     std::size_t rounds = matching::greedy_match_rounds(
         pool_, std::move(candidates), [&](EdgeId e) { return pri_[e]; },
-        taken_by_, min_edge_, &matched, &stats_.work_units);
+        taken_by_, min_edge_, &matched, &stats_.work_units,
+        &batch_.measured_depth);
+    batch_.parallel_phases += 5 * rounds;
     if (rounds > batch_.max_greedy_rounds) batch_.max_greedy_rounds = rounds;
-    for (EdgeId e : matched) commit_match(e);
+    charge_phase(matched.size());
+    parallel::parallel_for(0, matched.size(),
+                           [&](std::size_t i) { commit_arrays(matched[i]); });
+    for (EdgeId e : matched) matched_add(e);
   }
 
   // ---- randomSettle (Section 4) ---------------------------------------
 
   // Compacts adj_[v] (each dead entry is dropped exactly once) and returns
   // one settle candidate: a uniformly random free incident edge (or the
-  // minimum-priority one under light_only). work_units charges the scan.
-  EdgeId sample_candidate(VertexId v) {
+  // minimum-priority one under light_only). `rng` is this vertex's private
+  // stream for the round, so concurrent vertices never share state.
+  // `scanned` reports the scan length for the caller's work accounting.
+  EdgeId sample_candidate(VertexId v, Rng rng, std::size_t& scanned) {
     auto& list = adj_[v];
     std::size_t kept = 0, seen = 0;
     EdgeId pick = kInvalid;
@@ -261,47 +504,83 @@ class DynamicMatcher {
         if (pick == kInvalid ||
             matching::detail::beats(pri_[e], e, pri_[pick], pick))
           pick = e;
-      } else if (rng_.next_below(seen) == 0) {
+      } else if (rng.next_below(seen) == 0) {
         pick = e;
       }
     }
-    stats_.work_units += list.size();
+    scanned = list.size();
     list.resize(kept);
     return pick;
   }
 
-  void settle(std::vector<VertexId> freed) {
-    if (freed.empty()) return;
-    for (;;) {
-      // Pending: still-free vertices from the freed set.
-      std::vector<EdgeId> sampled;
-      std::vector<VertexId> still_pending;
-      for (VertexId v : freed) {
-        if (taken_by_[v] != kInvalid) continue;
-        EdgeId c = sample_candidate(v);
-        if (c == kInvalid) continue;  // no free incident edge: settled free
-        still_pending.push_back(v);
-        if (!cfg_.light_only) {
-          pri_[c] = rng_.next();  // fresh sample (the lazy machinery's coin)
-          ++stats_.samples_created;
-        }
-        sampled.push_back(c);
-      }
-      if (sampled.empty()) return;
+  void settle(std::vector<VertexId> pending) {
+    struct Draw {
+      VertexId v;
+      EdgeId c;
+    };
+    while (!pending.empty()) {
+      std::uint64_t round = ++settle_epoch_;
+      // Phase: every still-free pending vertex compacts + samples
+      // concurrently, each on its own (vertex, round)-keyed stream.
+      charge_phases(2, pending.size());  // sample + scanned-length reduce
+      std::vector<Draw> draws(pending.size());
+      std::vector<std::size_t> scanned(pending.size());
+      parallel::parallel_for(0, pending.size(), [&](std::size_t i) {
+        VertexId v = pending[i];
+        EdgeId c = kInvalid;
+        std::size_t len = 0;
+        if (taken_by_[v] == kInvalid)
+          c = sample_candidate(v, settle_draw_.stream(v, round), len);
+        draws[i] = Draw{v, c};
+        scanned[i] = len;
+      });
+      stats_.work_units +=
+          prims::reduce(std::span<const std::size_t>(scanned));
+      // Vertices with no free incident edge are settled free and drop out.
+      charge_phase(draws.size());
+      auto kept = prims::filter(std::span<const Draw>(draws),
+                                [](const Draw& d) { return d.c != kInvalid; });
+      if (kept.empty()) return;
+      charge_phase(kept.size());
+      std::vector<VertexId> still(kept.size());
+      std::vector<EdgeId> sampled(kept.size());
+      parallel::parallel_for(0, kept.size(), [&](std::size_t i) {
+        still[i] = kept[i].v;
+        sampled[i] = kept[i].c;
+      });
       // Two freed vertices may sample the same edge; run it once.
-      std::sort(sampled.begin(), sampled.end());
+      charge_phases(kRadixPhases, sampled.size());
+      prims::radix_sort(sampled, [](EdgeId e) { return std::uint64_t(e); },
+                        32);
       sampled.erase(std::unique(sampled.begin(), sampled.end()),
                     sampled.end());
+      if (!cfg_.light_only) {
+        // Fresh samples (the lazy machinery's coin), keyed (edge, round) so
+        // the draw is one word regardless of who sampled the edge.
+        charge_phase(sampled.size());
+        parallel::parallel_for(0, sampled.size(), [&](std::size_t i) {
+          pri_[sampled[i]] = settle_pri_.word(sampled[i], round);
+        });
+        stats_.samples_created += sampled.size();
+      }
       ++stats_.settle_rounds;
       ++batch_.settle_rounds;
       run_greedy(std::move(sampled));
-      freed = std::move(still_pending);
+      pending = std::move(still);
     }
   }
 
   Config cfg_;
   graph::EdgePool pool_;
-  Rng rng_;
+  // Independent keyed streams (parallel/rng_stream.h): insert priorities
+  // by (batch epoch, slot), settle reservoir draws by (vertex, round),
+  // resettle priorities by (edge, round). No shared sequential RNG state
+  // survives anywhere in the batch path.
+  parallel::RngStream insert_pri_;
+  parallel::RngStream settle_draw_;
+  parallel::RngStream settle_pri_;
+  std::uint64_t insert_epoch_ = 0;  // insert batches seen
+  std::uint64_t settle_epoch_ = 0;  // settle rounds seen, all batches
   CumulativeStats stats_;
   BatchStats batch_;
 
@@ -309,11 +588,12 @@ class DynamicMatcher {
   std::vector<std::uint32_t> growth_;       // id -> inserts since settle
   std::vector<std::uint64_t> threshold_;    // id -> bloat threshold
   std::vector<std::uint32_t> settle_size_;  // id -> neighborhood @ settle
+  std::vector<std::uint32_t> matched_pos_;  // id -> index in matched_edges_
   std::vector<EdgeId> taken_by_;            // vertex -> its match
   std::vector<EdgeId> min_edge_;            // vertex scratch for claiming
   std::vector<std::uint32_t> live_deg_;     // vertex -> live incident edges
   std::vector<std::vector<std::uint64_t>> adj_;  // vertex -> (gen, id) packed
-  std::size_t matched_count_ = 0;
+  std::vector<EdgeId> matched_edges_;       // the matching, unordered
 };
 
 }  // namespace parmatch::dyn

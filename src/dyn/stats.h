@@ -1,9 +1,9 @@
 // dyn/stats.h -- observable counters for the batch-dynamic matcher. These
-// are the proxies the experiment harnesses (DESIGN.md Section 4) read:
-// E1/E2 divide work_units and samples_created by total_updates() to check
-// the amortized O(1) / O(r^3) claims, E3 reads settle_rounds and
-// max_greedy_rounds as depth proxies, E10 reads stolen/bloated to show the
-// lazy machinery engaging.
+// are what the experiment harnesses (DESIGN.md Section 4) read: E1/E2
+// divide work_units and samples_created by total_updates() to check the
+// amortized O(1) / O(r^3) claims, E3 reads the per-batch depth counters
+// against the O(log^3 m) bound, E10 reads stolen/bloated to show the lazy
+// machinery engaging.
 #pragma once
 
 #include <cstddef>
@@ -20,13 +20,22 @@ struct CumulativeStats {
                                     // inserted edge (greedy-order repair)
   std::size_t bloated = 0;          // matches resettled because their
                                     // neighborhood outgrew the level bound
+  std::size_t max_batch_depth = 0;  // deepest measured batch span so far
 
   std::size_t total_updates() const { return inserts + deletes; }
 };
 
+// Per-batch observables, reset at the start of every insert/delete batch.
+// measured_depth is instrumented span, not a proxy: every data-parallel
+// phase the batch launches charges parallel::model_depth(n) -- the
+// binary-forking fork-tree depth over its n items -- so the value is
+// (phases executed) x (primitive depth), the quantity Theorem 1.1 bounds
+// by O(log^3 m) whp.
 struct BatchStats {
   std::size_t settle_rounds = 0;      // randomSettle rounds this batch
   std::size_t max_greedy_rounds = 0;  // deepest greedy invocation this batch
+  std::size_t parallel_phases = 0;    // data-parallel phase launches
+  std::size_t measured_depth = 0;     // sum of model_depth over phases
 };
 
 }  // namespace parmatch::dyn

@@ -14,6 +14,7 @@
 // Complexity contract: add/remove are O(r) per edge; vertices() is O(1).
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -22,6 +23,7 @@
 
 #include "graph/edge.h"
 #include "graph/edge_batch.h"
+#include "parallel/parallel_for.h"
 
 namespace parmatch::graph {
 
@@ -56,9 +58,43 @@ class EdgePool {
     return id;
   }
 
+  // Batch insert: id assignment (free-list pops + a fresh tail range) is
+  // sequential and O(k); the slot fills -- the O(sum of ranks) part -- run
+  // in parallel over disjoint slots. Ids are assigned in batch order, so
+  // the result is identical to k add_edge calls at any worker count.
   std::vector<EdgeId> add_edges(const EdgeBatch& batch) {
-    std::vector<EdgeId> ids(batch.size());
-    for (std::size_t i = 0; i < batch.size(); ++i) ids[i] = add_edge(batch.edge(i));
+    std::size_t k = batch.size();
+    std::vector<EdgeId> ids(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!free_.empty()) {
+        ids[i] = free_.back();
+        free_.pop_back();
+      } else {
+        ids[i] = static_cast<EdgeId>(rank_.size());
+        rank_.push_back(0);
+        gen_.push_back(0);
+      }
+    }
+    verts_.resize(rank_.size() * max_rank_);
+    std::atomic<VertexId> vb(vertex_bound_);
+    parallel::parallel_for(0, k, [&](std::size_t i) {
+      auto vs = batch.edge(i);
+      assert(vs.size() >= 1 && vs.size() <= max_rank_);
+      EdgeId id = ids[i];
+      rank_[id] = static_cast<std::uint8_t>(vs.size());
+      VertexId* dst = verts_.data() + static_cast<std::size_t>(id) * max_rank_;
+      VertexId local = 0;
+      for (std::size_t j = 0; j < vs.size(); ++j) {
+        dst[j] = vs[j];
+        if (vs[j] + 1 > local) local = vs[j] + 1;
+      }
+      VertexId cur = vb.load(std::memory_order_relaxed);
+      while (local > cur &&
+             !vb.compare_exchange_weak(cur, local, std::memory_order_relaxed)) {
+      }
+    });
+    vertex_bound_ = vb.load(std::memory_order_relaxed);
+    live_ += k;
     return ids;
   }
 
@@ -70,8 +106,20 @@ class EdgePool {
     --live_;
   }
 
+  // Batch delete: slot frees in parallel, free-list append as one bulk
+  // scatter (free_[base + i] = ids[i]) so recycling order stays the batch
+  // order regardless of worker count. Ids must be live and distinct.
   void remove_edges(std::span<const EdgeId> ids) {
-    for (EdgeId id : ids) remove_edge(id);
+    std::size_t base = free_.size();
+    free_.resize(base + ids.size());
+    parallel::parallel_for(0, ids.size(), [&](std::size_t i) {
+      EdgeId id = ids[i];
+      assert(live(id));
+      rank_[id] = 0;
+      ++gen_[id];
+      free_[base + i] = id;
+    });
+    live_ -= ids.size();
   }
 
   bool live(EdgeId id) const {

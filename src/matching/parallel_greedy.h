@@ -46,7 +46,10 @@ inline bool beats(std::uint64_t pa, graph::EdgeId a, std::uint64_t pb,
 //  * min_edge    -- scratch, sized >= pool.vertex_bound(), all kInvalidEdge
 //                   on entry and restored to kInvalidEdge on exit;
 //  * matched_out -- newly matched ids are appended (if non-null);
-//  * work        -- accumulates edges touched (if non-null).
+//  * work        -- accumulates edges touched (if non-null);
+//  * depth       -- accumulates measured span (if non-null): each round is
+//                   five data-parallel primitives over the active set, so it
+//                   charges 5 * parallel::model_depth(|active|).
 // Returns the number of rounds.
 template <typename PriFn>
 std::size_t greedy_match_rounds(const graph::EdgePool& pool,
@@ -55,13 +58,15 @@ std::size_t greedy_match_rounds(const graph::EdgePool& pool,
                                 std::vector<graph::EdgeId>& taken_by,
                                 std::vector<graph::EdgeId>& min_edge,
                                 std::vector<graph::EdgeId>* matched_out,
-                                std::size_t* work = nullptr) {
+                                std::size_t* work = nullptr,
+                                std::size_t* depth = nullptr) {
   using graph::EdgeId;
   using graph::kInvalidEdge;
   std::size_t rounds = 0;
   while (!active.empty()) {
     ++rounds;
     if (work) *work += active.size();
+    if (depth) *depth += 5 * parallel::model_depth(active.size());
     // Claim: each active edge CAS-mins itself into every endpoint slot.
     parallel::parallel_for(0, active.size(), [&](std::size_t i) {
       EdgeId e = active[i];

@@ -7,12 +7,22 @@
 // O(grain + n/P) span; with PARMATCH_SEQ=1 both collapse to a plain loop.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <utility>
 
 #include "parallel/scheduler.h"
 
 namespace parmatch::parallel {
+
+// Span of one data-parallel primitive over n items in the binary-forking
+// model the paper assumes (Section 2): a balanced fork tree of depth
+// ceil(log2 n) plus the constant body. The dynamic matcher charges this per
+// phase to report measured per-batch depth (dyn/stats.h) instead of the old
+// rounds-only proxy.
+inline std::size_t model_depth(std::size_t n) {
+  return n <= 1 ? 1 : 1 + static_cast<std::size_t>(std::bit_width(n - 1));
+}
 
 inline std::size_t default_grain(std::size_t n) {
   std::size_t p = static_cast<std::size_t>(num_workers());

@@ -1,0 +1,45 @@
+// parallel/rng_stream.h -- deterministic RNG streams for data-parallel
+// phases (DESIGN.md S2). A parallel loop cannot share one sequential Rng:
+// the interleaving of next() calls would depend on the schedule, and the
+// matching would differ run to run and thread count to thread count.
+//
+// RngStream fixes this by deriving every draw from a pure key instead of
+// shared mutable state: stream(key, round) returns an Rng seeded by
+// hash64(master, key, round), so a phase that processes element `key` in
+// round `round` gets the same stream no matter which worker runs it, in
+// which order, or how many workers exist. Rounds must be globally unique
+// per logical phase (the matcher uses monotone epoch counters) so streams
+// are never reused across phases.
+//
+// Complexity contract: stream() is O(1) and lock-free; two RngStreams with
+// the same master seed are interchangeable.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace parmatch::parallel {
+
+class RngStream {
+ public:
+  explicit RngStream(std::uint64_t master) : master_(master) {}
+
+  // Independent generator for (key, round); deterministic in the key alone.
+  Rng stream(std::uint64_t key, std::uint64_t round) const {
+    return Rng(parmatch::hash64(master_, key, round));
+  }
+
+  // Single word for (key, round) when one draw is all a phase needs (e.g.
+  // a fresh edge priority) -- cheaper than materializing an Rng.
+  std::uint64_t word(std::uint64_t key, std::uint64_t round) const {
+    return parmatch::hash64(master_, key, round);
+  }
+
+  std::uint64_t master() const { return master_; }
+
+ private:
+  std::uint64_t master_;
+};
+
+}  // namespace parmatch::parallel

@@ -26,6 +26,14 @@ inline std::uint64_t hash64(std::uint64_t seed, std::uint64_t i) {
   return splitmix64(s);
 }
 
+// Stream splitting: hash of (seed, i, j), the key the data-parallel phases
+// use to give every (element, round) pair its own independent draw -- the
+// result depends only on the key, never on which worker evaluates it.
+inline std::uint64_t hash64(std::uint64_t seed, std::uint64_t i,
+                            std::uint64_t j) {
+  return hash64(hash64(seed, i), j ^ 0x9E6C'63D0'876A'3F6Bull);
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 1) : state_(seed) {}

@@ -172,6 +172,52 @@ TEST(DynamicMatcher, HypergraphChurn) {
   drive_and_check(dm, w);
 }
 
+// The matched-edge set must stay consistent with a brute-force scan of the
+// id space (the representation matching() used to be computed from).
+TEST(DynamicMatcher, MatchedSetTracksIdSpaceScan) {
+  auto w = gen::churn(gen::erdos_renyi(400, 1'600, 29), 96, 0.5, 71);
+  dyn::DynamicMatcher dm;
+  std::vector<EdgeId> live(w.master.size(), kInvalidEdge);
+  for (const auto& step : w.steps) {
+    if (step.is_insert) {
+      graph::EdgeBatch chunk;
+      for (std::size_t i : step.edges) chunk.add(w.master.edge(i));
+      auto ids = dm.insert_edges(chunk);
+      for (std::size_t j = 0; j < ids.size(); ++j)
+        live[step.edges[j]] = ids[j];
+    } else {
+      std::vector<EdgeId> ids;
+      for (std::size_t i : step.edges) ids.push_back(live[i]);
+      dm.delete_edges(ids);
+    }
+    std::vector<EdgeId> scan;
+    for (EdgeId id = 0; id < dm.pool().id_bound(); ++id)
+      if (dm.is_matched(id)) scan.push_back(id);
+    ASSERT_EQ(dm.matching(), scan);
+    ASSERT_EQ(dm.matched_count(), scan.size());
+  }
+}
+
+// heavy_factor * cap must saturate, not wrap: with heavy_factor = 2^63 and
+// cap = 2 the old computation produced threshold 0, bloating a match on its
+// very first neighborhood insert.
+TEST(DynamicMatcher, BloatThresholdSaturatesInsteadOfWrapping) {
+  dyn::Config cfg;
+  cfg.seed = 9;
+  cfg.heavy_factor = 1ull << 63;
+  dyn::DynamicMatcher dm(cfg);
+  graph::EdgeBatch first;
+  first.add({0, 1});
+  dm.insert_edges(first);
+  ASSERT_EQ(dm.matched_count(), 1u);
+  graph::EdgeBatch growth;
+  for (VertexId v = 2; v < 40; ++v) growth.add({0, v});
+  dm.insert_edges(growth);
+  EXPECT_EQ(dm.cumulative_stats().bloated, 0u)
+      << "saturating threshold must never trigger a bloat";
+  EXPECT_EQ(dm.matched_count(), 1u);
+}
+
 TEST(DynamicMatcher, DeterministicForFixedSeed) {
   auto w = gen::churn(gen::erdos_renyi(300, 1'200, 23), 64, 0.5, 61);
   dyn::Config cfg;
