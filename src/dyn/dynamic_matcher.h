@@ -3,10 +3,10 @@
 // 2 (O(r^3) general, Theorem 1.1) against an oblivious adversary, with
 // O(log^3 m) depth per batch whp.
 //
-// The structure maintains, per vertex, a lazily compacted incidence list,
-// and per live edge a random priority (its "sample"). Invariant after every
-// batch: the matched set is maximal. The three mechanisms that make the
-// amortized bound work:
+// The structure maintains, per vertex, a lazily compacted incidence list
+// (graph/adjacency.h's chunked arena), and per live edge a random priority
+// (its "sample"). Invariant after every batch: the matched set is maximal.
+// The three mechanisms that make the amortized bound work:
 //
 //  * randomSettle (Section 4): when deletions free the vertices of a
 //    matched edge, each freed vertex samples a uniformly random free
@@ -54,11 +54,19 @@
 //   claim round; losers resample next round.
 //
 // All randomness is keyed, not sequenced: priority and reservoir draws come
-// from parallel::RngStream keyed by (epoch, position) / (vertex, round), so
-// the structure's entire trajectory -- matching, stats, work counters -- is
-// bit-identical at any worker count (tests/test_thread_determinism.cpp).
-// Shared counters (growth bumps, live_deg decrements, work units) use
-// atomic fetch-add; everything else is per-vertex or per-edge ownership.
+// from parallel::RngStream draws (util/rng.h 3-arg hash64) keyed by
+// (epoch, position) / (vertex, round), so the structure's entire trajectory
+// -- matching, stats, work counters -- is bit-identical at any worker count
+// (tests/test_thread_determinism.cpp). Shared counters (growth bumps,
+// live_deg decrements, work units) use atomic fetch-add; everything else is
+// per-vertex or per-edge ownership.
+//
+// Allocation discipline (DESIGN.md S7): every transient buffer comes from
+// the per-matcher BatchWorkspace (dyn/workspace.h) -- named vectors that
+// keep their capacity plus a bump ScratchArena reset at batch/settle-round
+// boundaries -- and every hot-path sort/dedup is prims::radix_sort plus a
+// parallel dedup_sorted pack, so a steady-state batch touches the heap
+// zero times (tests/test_alloc_free.cpp).
 //
 // Complexity contract per batch of k updates: expected O(k * r^3) amortized
 // work, O(log^3 m) depth whp (settle rounds x greedy claim rounds x O(log)
@@ -73,14 +81,17 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <limits>
 #include <span>
 #include <vector>
 
+#include "graph/adjacency.h"
 #include "graph/edge.h"
 #include "graph/edge_batch.h"
 #include "graph/edge_pool.h"
 #include "dyn/stats.h"
+#include "dyn/workspace.h"
 #include "matching/parallel_greedy.h"
 #include "parallel/parallel_for.h"
 #include "parallel/rng_stream.h"
@@ -116,11 +127,13 @@ class DynamicMatcher {
         settle_pri_(hash64(cfg.seed ^ 0xA02B'DBF7'BB3C'0A7ull, 3)) {}
 
   // Inserts a batch; returns the id assigned to each edge, batch order.
-  std::vector<EdgeId> insert_edges(const graph::EdgeBatch& batch) {
-    batch_ = BatchStats{};
+  // The span aliases workspace storage: valid until the next batch call.
+  std::span<const EdgeId> insert_edges(const graph::EdgeBatch& batch) {
+    begin_batch();
     std::uint64_t epoch = ++insert_epoch_;
-    auto ids = pool_.add_edges(batch);
+    pool_.add_edges(batch, ws_.ids);
     ensure_bounds();
+    std::span<const EdgeId> ids(ws_.ids);
     std::size_t k = ids.size();
     stats_.inserts += k;
     stats_.work_units += batch.total_cardinality();
@@ -136,30 +149,38 @@ class DynamicMatcher {
     // batch by endpoint; each vertex-group is then applied by one owner, so
     // appends and live_deg bumps race-free; growth bumps target per-edge
     // counters shared between groups and use fetch-add.
-    std::vector<EdgeId> bloated = apply_adjacency(batch, ids);
+    std::span<const EdgeId> bloated = apply_adjacency(batch, ids);
 
     // P3: classify against the pre-batch matching. An edge is a greedy
     // candidate if every endpoint is free, a steal candidate if some
-    // endpoint is taken and its sample beats every match it touches.
-    charge_phases(2, k);
-    auto candidates =
-        prims::filter(std::span<const EdgeId>(ids),
-                      [&](EdgeId e) { return all_endpoints_free(e); });
-    auto stealers =
-        prims::filter(std::span<const EdgeId>(ids), [&](EdgeId e) {
-          bool any_taken = false;
-          for (VertexId v : pool_.vertices(e)) {
-            EdgeId t = taken_by_[v];
-            if (t == kInvalid) continue;
-            any_taken = true;
-            if (!matching::detail::beats(pri_[e], e, pri_[t], t)) return false;
-          }
-          return any_taken;
-        });
+    // endpoint is taken and its sample beats every match it touches. One
+    // endpoint scan per edge (the classification mark), then two cheap
+    // packs on the marks.
+    charge_phases(3, k);
+    auto cls = ws_.arena.alloc<std::uint8_t>(k);
+    parallel::parallel_for(0, k, [&](std::size_t i) {
+      EdgeId e = ids[i];
+      bool any_taken = false, steals_all = true;
+      for (VertexId v : pool_.vertices(e)) {
+        EdgeId t = taken_by_[v];
+        if (t == kInvalid) continue;
+        any_taken = true;
+        if (!matching::detail::beats(pri_[e], e, pri_[t], t)) {
+          steals_all = false;
+          break;
+        }
+      }
+      cls[i] = !any_taken ? 1 : (steals_all ? 2 : 0);
+    });
+    auto candidates = prims::pack_index<EdgeId>(
+        k, [&](std::size_t i) { return cls[i] == 1; },
+        [&](std::size_t i) { return ids[i]; }, ws_.arena);
+    auto stealers = prims::pack_index<EdgeId>(
+        k, [&](std::size_t i) { return cls[i] == 2; },
+        [&](std::size_t i) { return ids[i]; }, ws_.arena);
 
     // P4: steal claim round -- winners displace their victims.
-    std::vector<VertexId> freed;
-    resolve_steals(stealers, freed);
+    resolve_steals(stealers);
 
     // P5: resettle bloated matches through the random-sampling path (not
     // run_greedy with the stale sample): the whole point is a fresh draw
@@ -168,27 +189,33 @@ class DynamicMatcher {
     for (EdgeId b : bloated) {
       if (taken_by_[pool_.vertices(b)[0]] != b) continue;  // displaced
       ++stats_.bloated;
-      unmatch(b, freed);
+      unmatch(b);
     }
 
-    run_greedy(std::move(candidates));
-    settle(std::move(freed));
+    run_greedy(candidates);
+    settle();
     finish_batch();
     return ids;
   }
 
+  // Braced-list convenience: delete_edges({a, b}).
+  void delete_edges(std::initializer_list<EdgeId> ids) {
+    delete_edges(std::span<const EdgeId>(ids.begin(), ids.size()));
+  }
+
   // Deletes previously returned ids (each must be live).
-  void delete_edges(const std::vector<EdgeId>& ids) {
-    batch_ = BatchStats{};
+  void delete_edges(std::span<const EdgeId> ids) {
+    begin_batch();
     stats_.deletes += ids.size();
     charge_phase(ids.size());
-    auto lv = prims::filter(std::span<const EdgeId>(ids),
-                            [&](EdgeId id) { return pool_.live(id); });
+    auto lv = prims::filter(
+        ids, [&](EdgeId id) { return pool_.live(id); }, ws_.arena);
     // The same id may legally appear more than once in a batch; deletion
-    // order is immaterial, so dedup by sorting.
-    charge_phases(kRadixPhases, lv.size());
-    prims::radix_sort(lv, [](EdgeId e) { return std::uint64_t(e); }, 32);
-    lv.erase(std::unique(lv.begin(), lv.end()), lv.end());
+    // order is immaterial, so dedup by radix sort + parallel pack.
+    charge_phases(kRadixPhases + 1, lv.size());
+    prims::radix_sort(lv, [](EdgeId e) { return std::uint64_t(e); },
+                      id_bits(), ws_.arena);
+    lv = prims::dedup_sorted(std::span<const EdgeId>(lv), ws_.arena);
     if (lv.empty()) {
       finish_batch();
       return;
@@ -196,42 +223,49 @@ class DynamicMatcher {
 
     // Blocked map + reduce: a single shared atomic would serialize the
     // phase on one cache line.
-    std::vector<std::size_t> ranks(lv.size());
+    auto ranks = ws_.arena.alloc<std::size_t>(lv.size());
     charge_phases(2, lv.size());
     parallel::parallel_for(0, lv.size(), [&](std::size_t i) {
       ranks[i] = pool_.rank(lv[i]);
     });
-    stats_.work_units += prims::reduce(std::span<const std::size_t>(ranks));
+    stats_.work_units +=
+        prims::reduce(std::span<const std::size_t>(ranks), ws_.arena);
 
     // Deleted matches free their vertices (matched edges are disjoint, so
     // the victim set needs no dedup).
     charge_phase(lv.size());
-    auto victims =
-        prims::filter(std::span<const EdgeId>(lv), [&](EdgeId e) {
-          return taken_by_[pool_.vertices(e)[0]] == e;
-        });
-    std::vector<VertexId> freed;
-    for (EdgeId e : victims) unmatch(e, freed);
+    auto victims = prims::filter(
+        std::span<const EdgeId>(lv),
+        [&](EdgeId e) { return taken_by_[pool_.vertices(e)[0]] == e; },
+        ws_.arena);
+    for (EdgeId e : victims) unmatch(e);
 
     // live_deg decrements: an endpoint may lose several edges of this
-    // batch, hence fetch-sub rather than per-vertex ownership.
+    // batch, hence fetch-sub rather than per-vertex ownership (plain when
+    // the pool is sequential).
     charge_phase(lv.size());
+    const bool seq = parallel::sequential_mode();
     parallel::parallel_for(0, lv.size(), [&](std::size_t i) {
-      for (VertexId v : pool_.vertices(lv[i]))
-        std::atomic_ref<std::uint32_t>(live_deg_[v])
-            .fetch_sub(1, std::memory_order_relaxed);
+      for (VertexId v : pool_.vertices(lv[i])) {
+        if (seq)
+          --live_deg_[v];
+        else
+          std::atomic_ref<std::uint32_t>(live_deg_[v])
+              .fetch_sub(1, std::memory_order_relaxed);
+      }
     });
     charge_phase(lv.size());
     pool_.remove_edges(lv);
-    settle(std::move(freed));
+    settle();
     finish_batch();
   }
 
-  // The current matching (ascending ids). O(|M| log |M|): the matched set
-  // is maintained explicitly, never rebuilt by scanning the id space.
+  // The current matching (ascending ids). O(|M|): the matched set is
+  // maintained explicitly, never rebuilt by scanning the id space.
   std::vector<EdgeId> matching() const {
     std::vector<EdgeId> out(matched_edges_);
-    std::sort(out.begin(), out.end());
+    prims::radix_sort(out, [](EdgeId e) { return std::uint64_t(e); },
+                      id_bits());
     return out;
   }
 
@@ -245,7 +279,23 @@ class DynamicMatcher {
   const CumulativeStats& cumulative_stats() const { return stats_; }
   const BatchStats& last_batch_stats() const { return batch_; }
 
+  // Scratch high-water diagnostics (tests/test_alloc_free.cpp).
+  const BatchWorkspace& workspace() const { return ws_; }
+
  private:
+  // ---- batch lifecycle -------------------------------------------------
+
+  void begin_batch() {
+    batch_ = BatchStats{};
+    ws_.arena.reset();
+    ws_.freed.clear();
+  }
+
+  void finish_batch() {
+    if (batch_.measured_depth > stats_.max_batch_depth)
+      stats_.max_batch_depth = batch_.measured_depth;
+  }
+
   // ---- id/vertex array maintenance -------------------------------------
 
   void ensure_bounds() {
@@ -262,7 +312,7 @@ class DynamicMatcher {
       taken_by_.resize(vb, kInvalid);
       min_edge_.resize(vb, kInvalid);
       live_deg_.resize(vb, 0);
-      adj_.resize(vb);
+      adj_.ensure_vertex_bound(vb);
     }
   }
 
@@ -278,17 +328,20 @@ class DynamicMatcher {
     batch_.measured_depth += count * parallel::model_depth(n);
   }
 
-  // A 32-bit-key radix sort is ceil(32/8) passes of histogram + scatter.
+  // A full-width id radix sort is <= ceil(32/8) passes of histogram +
+  // scatter; the model charge stays at the 32-bit worst case even though
+  // the sorts themselves only touch the bits the id space uses.
   static constexpr std::size_t kRadixPhases = 8;
 
-  // prims::group_by = pair fill + radix over the key bits actually used.
-  std::size_t group_by_phases(std::uint64_t max_key) const {
-    return 1 + 2 * ((std::bit_width(max_key | 1) + 7) / 8);
+  // Bits needed to cover every allocated edge id (radix sort key width).
+  int id_bits() const {
+    return std::bit_width(static_cast<std::uint64_t>(pool_.id_bound()) | 1);
   }
 
-  void finish_batch() {
-    if (batch_.measured_depth > stats_.max_batch_depth)
-      stats_.max_batch_depth = batch_.measured_depth;
+  // prims::group_by = pair fill + radix over the key bits actually used +
+  // value copy + boundary pack + key/offset fill.
+  std::size_t group_by_phases(std::uint64_t max_key) const {
+    return 4 + 2 * ((std::bit_width(max_key | 1) + 7) / 8);
   }
 
   // ---- match bookkeeping ----------------------------------------------
@@ -328,11 +381,12 @@ class DynamicMatcher {
     matched_edges_.push_back(e);
   }
 
-  void unmatch(EdgeId e, std::vector<VertexId>& freed) {
+  // Frees e's vertices into the batch's pending-settle set (ws_.freed).
+  void unmatch(EdgeId e) {
     for (VertexId v : pool_.vertices(e)) {
       if (taken_by_[v] == e) {
         taken_by_[v] = kInvalid;
-        freed.push_back(v);
+        ws_.freed.push_back(v);
       }
     }
     std::uint32_t idx = matched_pos_[e];
@@ -355,20 +409,20 @@ class DynamicMatcher {
   // fetch-add shared per-edge counters and report the (unique) group that
   // observed the bloat-threshold crossing. Returns the bloated edges in
   // ascending id order, so downstream processing is schedule-independent.
-  std::vector<EdgeId> apply_adjacency(const graph::EdgeBatch& batch,
-                                      const std::vector<EdgeId>& ids) {
+  std::span<const EdgeId> apply_adjacency(const graph::EdgeBatch& batch,
+                                          std::span<const EdgeId> ids) {
     std::size_t k = ids.size();
     std::size_t total = batch.total_cardinality();
-    std::vector<std::uint32_t> offs(k);
+    auto offs = ws_.arena.alloc<std::uint32_t>(k);
     charge_phase(k);
     parallel::parallel_for(
         0, k, [&](std::size_t i) {
           offs[i] = static_cast<std::uint32_t>(batch.edge(i).size());
         });
     charge_phases(2, k);  // scan = up-sweep + down-sweep
-    prims::scan_exclusive(std::span<std::uint32_t>(offs));
-    std::vector<VertexId> gkeys(total);
-    std::vector<std::uint64_t> gvals(total);
+    prims::scan_exclusive(offs, ws_.arena);
+    auto gkeys = ws_.arena.alloc<VertexId>(total);
+    auto gvals = ws_.arena.alloc<std::uint64_t>(total);
     charge_phase(total);
     parallel::parallel_for(0, k, [&](std::size_t i) {
       auto vs = batch.edge(i);
@@ -380,32 +434,62 @@ class DynamicMatcher {
       }
     });
     charge_phases(group_by_phases(pool_.vertex_bound()), total);
-    auto groups = prims::group_by<VertexId, std::uint64_t>(gkeys, gvals);
+    auto groups = prims::group_by<VertexId, std::uint64_t>(
+        gkeys, gvals, ws_.arena, pool_.vertex_bound());
 
     std::size_t ng = groups.num_groups();
-    std::vector<EdgeId> bloat_mark(ng, kInvalid);
-    charge_phase(ng);
+    // Slab headroom for the appends below, sized before the parallel phase
+    // so chunk allocation is a pure bump (graph/adjacency.h).
+    adj_.reserve_for(total, ng);
+    auto bloat_mark = ws_.arena.alloc<EdgeId>(ng);
+    auto comp_scan = ws_.arena.alloc<std::size_t>(ng);
+    charge_phases(2, ng);  // group apply + compaction-scan reduce
+    const bool seq = parallel::sequential_mode();
     parallel::parallel_for(0, ng, [&](std::size_t g) {
       VertexId v = groups.keys[g];
       auto vals = groups.group(g);
-      auto& list = adj_[v];
-      list.insert(list.end(), vals.begin(), vals.end());
       std::uint32_t cnt = static_cast<std::uint32_t>(vals.size());
+      // Amortized owner-side compaction: valid entries number exactly
+      // live_deg, so a chain more than twice that (plus slack) is mostly
+      // stale refs -- drop them now, charged to the appends that grew the
+      // chain. This bounds every chain (and the arena) to O(live incident
+      // edges), which is what keeps steady-state batches allocation-free;
+      // the trigger depends only on schedule-independent lengths, so the
+      // trajectory stays deterministic (DESIGN.md S2). Settle's lazy
+      // compaction still handles the vertices this owner never touches.
+      comp_scan[g] = 0;
+      std::size_t len = adj_.length(v);
+      if (len >= 16 + 2 * (static_cast<std::size_t>(live_deg_[v]) + cnt))
+        comp_scan[g] = adj_.compact_visit(
+            v, [&](std::uint64_t ref) { return pool_.ref_valid(ref); });
+      for (std::uint64_t ref : vals) adj_.append(v, ref);
       live_deg_[v] += cnt;
+      bloat_mark[g] = kInvalid;
       EdgeId t = taken_by_[v];
       if (t == kInvalid || cfg_.light_only) return;
       // The neighborhood of match t grew; check the level bound. Exactly
       // one fetch-add interval straddles the threshold, so each bloated
-      // edge is reported by exactly one group.
-      std::uint64_t before = std::atomic_ref<std::uint32_t>(growth_[t])
-                                 .fetch_add(cnt, std::memory_order_relaxed);
+      // edge is reported by exactly one group (plain add when sequential).
+      std::uint64_t before;
+      if (seq) {
+        before = growth_[t];
+        growth_[t] += cnt;
+      } else {
+        before = std::atomic_ref<std::uint32_t>(growth_[t])
+                     .fetch_add(cnt, std::memory_order_relaxed);
+      }
       if (before <= threshold_[t] && before + cnt > threshold_[t])
         bloat_mark[g] = t;
     });
+    stats_.work_units +=
+        prims::reduce(std::span<const std::size_t>(comp_scan), ws_.arena);
     charge_phase(ng);
-    auto bloated = prims::filter(std::span<const EdgeId>(bloat_mark),
-                                 [](EdgeId e) { return e != kInvalid; });
-    std::sort(bloated.begin(), bloated.end());
+    auto bloated = prims::filter(
+        std::span<const EdgeId>(bloat_mark),
+        [](EdgeId e) { return e != kInvalid; }, ws_.arena);
+    charge_phases(kRadixPhases, bloated.size());
+    prims::radix_sort(bloated, [](EdgeId e) { return std::uint64_t(e); },
+                      id_bits(), ws_.arena);
     return bloated;
   }
 
@@ -414,13 +498,20 @@ class DynamicMatcher {
   // its slots wins, displaces the matches it touches, and commits. Losers
   // do not retry: any vertex they could still want is either taken by a
   // better edge or freed into settle(), which restores maximality.
-  void resolve_steals(const std::vector<EdgeId>& stealers,
-                      std::vector<VertexId>& freed) {
+  void resolve_steals(std::span<const EdgeId> stealers) {
     if (stealers.empty()) return;
     charge_phase(stealers.size());
+    const bool seq = parallel::sequential_mode();
     parallel::parallel_for(0, stealers.size(), [&](std::size_t i) {
       EdgeId e = stealers[i];
       for (VertexId v : pool_.vertices(e)) {
+        if (seq) {
+          EdgeId cur = min_edge_[v];
+          if (cur == kInvalid ||
+              matching::detail::beats(pri_[e], e, pri_[cur], cur))
+            min_edge_[v] = e;
+          continue;
+        }
         std::atomic_ref<EdgeId> slot(min_edge_[v]);
         EdgeId cur = slot.load(std::memory_order_relaxed);
         while (cur == kInvalid ||
@@ -430,30 +521,40 @@ class DynamicMatcher {
         }
       }
     });
-    auto winners =
-        prims::filter(std::span<const EdgeId>(stealers), [&](EdgeId e) {
+    auto winners = prims::filter_marked(
+        stealers,
+        [&](EdgeId e) {
           for (VertexId v : pool_.vertices(e))
             if (min_edge_[v] != e) return false;
           return true;
-        });
+        },
+        ws_.arena);
     charge_phase(stealers.size());
     parallel::parallel_for(0, stealers.size(), [&](std::size_t i) {
-      for (VertexId v : pool_.vertices(stealers[i]))
-        std::atomic_ref<EdgeId>(min_edge_[v])
-            .store(kInvalid, std::memory_order_relaxed);
+      for (VertexId v : pool_.vertices(stealers[i])) {
+        if (seq)
+          min_edge_[v] = kInvalid;
+        else
+          std::atomic_ref<EdgeId>(min_edge_[v])
+              .store(kInvalid, std::memory_order_relaxed);
+      }
     });
     if (winners.empty()) return;
-    // A victim can touch two winners at different vertices; dedup before
-    // unmatching so each is displaced exactly once.
-    std::vector<EdgeId> victims;
+    // A victim can touch two winners at different vertices; dedup (radix +
+    // parallel pack) before unmatching so each is displaced exactly once.
+    ws_.victims.clear();
     for (EdgeId e : winners)
       for (VertexId v : pool_.vertices(e)) {
         EdgeId t = taken_by_[v];
-        if (t != kInvalid) victims.push_back(t);
+        if (t != kInvalid) ws_.victims.push_back(t);
       }
-    std::sort(victims.begin(), victims.end());
-    victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
-    for (EdgeId t : victims) unmatch(t, freed);
+    charge_phases(kRadixPhases + 1, ws_.victims.size());
+    prims::radix_sort(std::span<EdgeId>(ws_.victims),
+                      [](EdgeId e) { return std::uint64_t(e); }, id_bits(),
+                      ws_.arena);
+    auto victims = prims::dedup_sorted(
+        std::span<const EdgeId>(ws_.victims), ws_.arena);
+    for (EdgeId t : victims) unmatch(t);
     charge_phase(winners.size());
     parallel::parallel_for(0, winners.size(),
                            [&](std::size_t i) { commit_arrays(winners[i]); });
@@ -463,110 +564,115 @@ class DynamicMatcher {
 
   // ---- greedy over a candidate set ------------------------------------
 
-  void run_greedy(std::vector<EdgeId> candidates) {
+  void run_greedy(std::span<const EdgeId> candidates) {
     if (candidates.empty()) return;
     charge_phase(candidates.size());
-    candidates = prims::filter(std::span<const EdgeId>(candidates),
-                               [&](EdgeId e) { return all_endpoints_free(e); });
+    candidates = prims::filter_marked(
+        candidates, [&](EdgeId e) { return all_endpoints_free(e); },
+        ws_.arena);
     if (candidates.empty()) return;
-    std::vector<EdgeId> matched;
+    ws_.matched.clear();
     std::size_t rounds = matching::greedy_match_rounds(
-        pool_, std::move(candidates), [&](EdgeId e) { return pri_[e]; },
-        taken_by_, min_edge_, &matched, &stats_.work_units,
+        pool_, candidates, [&](EdgeId e) { return pri_[e]; }, taken_by_,
+        min_edge_, &ws_.matched, ws_.arena, &stats_.work_units,
         &batch_.measured_depth);
     batch_.parallel_phases += 5 * rounds;
     if (rounds > batch_.max_greedy_rounds) batch_.max_greedy_rounds = rounds;
-    charge_phase(matched.size());
-    parallel::parallel_for(0, matched.size(),
-                           [&](std::size_t i) { commit_arrays(matched[i]); });
-    for (EdgeId e : matched) matched_add(e);
+    charge_phase(ws_.matched.size());
+    parallel::parallel_for(0, ws_.matched.size(), [&](std::size_t i) {
+      commit_arrays(ws_.matched[i]);
+    });
+    for (EdgeId e : ws_.matched) matched_add(e);
   }
 
   // ---- randomSettle (Section 4) ---------------------------------------
 
-  // Compacts adj_[v] (each dead entry is dropped exactly once) and returns
-  // one settle candidate: a uniformly random free incident edge (or the
-  // minimum-priority one under light_only). `rng` is this vertex's private
-  // stream for the round, so concurrent vertices never share state.
+  // Compacts adj_'s chain for v (each dead entry is dropped exactly once)
+  // and returns one settle candidate: a uniformly random free incident edge
+  // (or the minimum-priority one under light_only). `rng` is this vertex's
+  // private stream for the round, so concurrent vertices never share state.
   // `scanned` reports the scan length for the caller's work accounting.
   EdgeId sample_candidate(VertexId v, Rng rng, std::size_t& scanned) {
-    auto& list = adj_[v];
-    std::size_t kept = 0, seen = 0;
+    std::size_t seen = 0;
     EdgeId pick = kInvalid;
-    for (std::size_t i = 0; i < list.size(); ++i) {
-      std::uint64_t entry = list[i];
-      if (!pool_.ref_valid(entry)) continue;  // stale: compact it away
-      list[kept++] = entry;
+    scanned = adj_.compact_visit(v, [&](std::uint64_t entry) {
+      if (!pool_.ref_valid(entry)) return false;  // stale: compact it away
       EdgeId e = graph::EdgePool::ref_id(entry);
-      if (!all_endpoints_free(e)) continue;
-      ++seen;
-      if (cfg_.light_only) {
-        if (pick == kInvalid ||
-            matching::detail::beats(pri_[e], e, pri_[pick], pick))
+      if (all_endpoints_free(e)) {
+        ++seen;
+        if (cfg_.light_only) {
+          if (pick == kInvalid ||
+              matching::detail::beats(pri_[e], e, pri_[pick], pick))
+            pick = e;
+        } else if (rng.next_below(seen) == 0) {
           pick = e;
-      } else if (rng.next_below(seen) == 0) {
-        pick = e;
+        }
       }
-    }
-    scanned = list.size();
-    list.resize(kept);
+      return true;
+    });
     return pick;
   }
 
-  void settle(std::vector<VertexId> pending) {
-    struct Draw {
-      VertexId v;
-      EdgeId c;
-    };
+  // Settles ws_.freed: rounds of concurrent sampling + one greedy claim
+  // round each, ping-ponging the pending set between ws_.freed and
+  // ws_.still. The arena resets at every round boundary (no span crosses
+  // it; the pending sets ride in the named vectors).
+  void settle() {
+    std::vector<VertexId>& pending = ws_.freed;
+    std::vector<VertexId>& still = ws_.still;
     while (!pending.empty()) {
+      ws_.arena.reset();
       std::uint64_t round = ++settle_epoch_;
+      std::size_t np = pending.size();
       // Phase: every still-free pending vertex compacts + samples
       // concurrently, each on its own (vertex, round)-keyed stream.
-      charge_phases(2, pending.size());  // sample + scanned-length reduce
-      std::vector<Draw> draws(pending.size());
-      std::vector<std::size_t> scanned(pending.size());
-      parallel::parallel_for(0, pending.size(), [&](std::size_t i) {
+      charge_phases(2, np);  // sample + scanned-length reduce
+      auto draws = ws_.arena.alloc<EdgeId>(np);
+      auto scanned = ws_.arena.alloc<std::size_t>(np);
+      parallel::parallel_for(0, np, [&](std::size_t i) {
         VertexId v = pending[i];
         EdgeId c = kInvalid;
         std::size_t len = 0;
         if (taken_by_[v] == kInvalid)
           c = sample_candidate(v, settle_draw_.stream(v, round), len);
-        draws[i] = Draw{v, c};
+        draws[i] = c;
         scanned[i] = len;
       });
       stats_.work_units +=
-          prims::reduce(std::span<const std::size_t>(scanned));
-      // Vertices with no free incident edge are settled free and drop out.
-      charge_phase(draws.size());
-      auto kept = prims::filter(std::span<const Draw>(draws),
-                                [](const Draw& d) { return d.c != kInvalid; });
-      if (kept.empty()) return;
-      charge_phase(kept.size());
-      std::vector<VertexId> still(kept.size());
-      std::vector<EdgeId> sampled(kept.size());
-      parallel::parallel_for(0, kept.size(), [&](std::size_t i) {
-        still[i] = kept[i].v;
-        sampled[i] = kept[i].c;
-      });
-      // Two freed vertices may sample the same edge; run it once.
-      charge_phases(kRadixPhases, sampled.size());
+          prims::reduce(std::span<const std::size_t>(scanned), ws_.arena);
+      // Vertices with no free incident edge are settled free and drop out;
+      // the rest carry to the next round (still) and their draws run this
+      // round's claim (sampled). Both packs share one keep predicate, so
+      // one dual pack emits the two arrays with a single count + scatter.
+      charge_phases(2, np);
+      auto sampled = prims::pack_index2<VertexId, EdgeId>(
+          np, [&](std::size_t i) { return draws[i] != kInvalid; },
+          [&](std::size_t i) { return pending[i]; }, still,
+          [&](std::size_t i) { return draws[i]; }, ws_.arena);
+      if (sampled.empty()) {
+        pending.clear();
+        return;
+      }
+      // Two freed vertices may sample the same edge; run it once (radix +
+      // parallel dedup).
+      charge_phases(kRadixPhases + 1, sampled.size());
       prims::radix_sort(sampled, [](EdgeId e) { return std::uint64_t(e); },
-                        32);
-      sampled.erase(std::unique(sampled.begin(), sampled.end()),
-                    sampled.end());
+                        id_bits(), ws_.arena);
+      auto uniq =
+          prims::dedup_sorted(std::span<const EdgeId>(sampled), ws_.arena);
       if (!cfg_.light_only) {
         // Fresh samples (the lazy machinery's coin), keyed (edge, round) so
         // the draw is one word regardless of who sampled the edge.
-        charge_phase(sampled.size());
-        parallel::parallel_for(0, sampled.size(), [&](std::size_t i) {
-          pri_[sampled[i]] = settle_pri_.word(sampled[i], round);
+        charge_phase(uniq.size());
+        parallel::parallel_for(0, uniq.size(), [&](std::size_t i) {
+          pri_[uniq[i]] = settle_pri_.word(uniq[i], round);
         });
-        stats_.samples_created += sampled.size();
+        stats_.samples_created += uniq.size();
       }
       ++stats_.settle_rounds;
       ++batch_.settle_rounds;
-      run_greedy(std::move(sampled));
-      pending = std::move(still);
+      run_greedy(uniq);
+      std::swap(pending, still);
     }
   }
 
@@ -583,6 +689,7 @@ class DynamicMatcher {
   std::uint64_t settle_epoch_ = 0;  // settle rounds seen, all batches
   CumulativeStats stats_;
   BatchStats batch_;
+  BatchWorkspace ws_;
 
   std::vector<std::uint64_t> pri_;          // id -> current sample
   std::vector<std::uint32_t> growth_;       // id -> inserts since settle
@@ -592,7 +699,7 @@ class DynamicMatcher {
   std::vector<EdgeId> taken_by_;            // vertex -> its match
   std::vector<EdgeId> min_edge_;            // vertex scratch for claiming
   std::vector<std::uint32_t> live_deg_;     // vertex -> live incident edges
-  std::vector<std::vector<std::uint64_t>> adj_;  // vertex -> (gen, id) packed
+  graph::ChunkedAdjacency adj_;             // vertex -> (gen, id) packed refs
   std::vector<EdgeId> matched_edges_;       // the matching, unordered
 };
 

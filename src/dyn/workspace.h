@@ -1,0 +1,37 @@
+// dyn/workspace.h -- reusable scratch state for one DynamicMatcher
+// (DESIGN.md S7's allocation-free batch contract). Every transient buffer
+// the insert/delete/settle pipeline needs lives here: either as a named
+// std::vector whose capacity survives across batches (results that must
+// outlive an arena reset, e.g. the returned id buffer or the settle
+// ping-pong sets), or inside the bump ScratchArena (everything consumed
+// within a batch phase). After warm-up -- once every vector has reached its
+// high-water capacity and the arena its high-water footprint -- a
+// steady-state batch performs zero heap allocations
+// (tests/test_alloc_free.cpp pins this with a counting operator new).
+//
+// Arena reset points: the start of every batch and the start of every
+// settle round. Spans handed out by the arena are dead at those points by
+// construction of the phase order (no span crosses a settle-round
+// boundary; cross-round state rides in the named vectors).
+#pragma once
+
+#include <vector>
+
+#include "graph/edge.h"
+#include "util/scratch_arena.h"
+
+namespace parmatch::dyn {
+
+struct BatchWorkspace {
+  ScratchArena arena;
+
+  std::vector<graph::EdgeId> ids;      // insert: ids handed back to the caller
+                                       // (valid until the next batch)
+  std::vector<graph::VertexId> freed;  // vertices freed this batch; doubles as
+                                       // the settle pending set (ping)
+  std::vector<graph::VertexId> still;  // settle pending set (pong)
+  std::vector<graph::EdgeId> victims;  // matches displaced by steal winners
+  std::vector<graph::EdgeId> matched;  // winners of one greedy invocation
+};
+
+}  // namespace parmatch::dyn

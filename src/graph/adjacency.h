@@ -1,0 +1,165 @@
+// graph/adjacency.h -- chunked-arena incidence lists for the dynamic
+// matcher (DESIGN.md S7). Replaces the old vector<vector<uint64_t>>
+// per-vertex adjacency: entries live in fixed-size chunks carved out of
+// slab storage, so appends never touch the general-purpose allocator, a
+// vertex's entries sit on whole cache lines instead of pointer-chased heap
+// nodes, and lazy compaction (sample_candidate's stale-entry drop) rewrites
+// the vertex's own chunk chain in place.
+//
+// Chunk storage is a list of fixed-size slabs (512 KiB each), never a
+// single growing vector: growth appends a slab without copying or
+// value-initializing the ones before it, so existing chunks stay pinned in
+// memory while a parallel phase runs and arena growth is O(new slab), not
+// O(everything so far).
+//
+// Concurrency contract (matches the matcher's phase structure):
+//  * append/compact on a given vertex are owner-exclusive -- exactly one
+//    worker touches a vertex within a phase (the per-vertex-group ownership
+//    of insert P2, the per-pending-vertex ownership of settle sampling).
+//  * Different vertices append concurrently; the only shared state is the
+//    chunk bump cursor (one relaxed fetch_add per new chunk). Slabs are
+//    pre-sized by reserve_for() BEFORE a parallel phase, so the slab list
+//    never mutates under concurrent appends.
+//  * Chunk indices assigned to a vertex depend on the schedule, but the
+//    entry SEQUENCE of each vertex does not -- iteration order is append
+//    order -- so everything the matcher derives from a scan (reservoir
+//    draws, compaction) is schedule-independent (DESIGN.md S2).
+//
+// Capacity is retained per vertex: compaction keeps the chain's chunks
+// linked for reuse by later appends, mirroring the capacity retention of
+// the old std::vector lists, which is what makes steady-state batches
+// allocation-free.
+//
+// Complexity contract: append amortized O(1); compact_visit O(len);
+// memory O(sum of per-vertex high-water lengths).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/edge.h"
+
+namespace parmatch::graph {
+
+class ChunkedAdjacency {
+ public:
+  // 15 entries + next link = 128 bytes, two cache lines per chunk.
+  static constexpr std::size_t kChunkCap = 15;
+  static constexpr std::uint32_t kNull = 0xFFFF'FFFFu;
+
+  // Grows the per-vertex header table to cover [0, vb). Not concurrent.
+  void ensure_vertex_bound(std::size_t vb) {
+    if (heads_.size() < vb) heads_.resize(vb);
+  }
+
+  // Guarantees the slabs can absorb `extra_entries` appended entries spread
+  // over at most `touched_vertices` vertices without growing. Call before
+  // any parallel phase that appends. Not concurrent.
+  void reserve_for(std::size_t extra_entries, std::size_t touched_vertices) {
+    std::size_t need = cursor_.load(std::memory_order_relaxed) +
+                       extra_entries / kChunkCap + 2 * touched_vertices;
+    while (slabs_.size() * kSlabChunks < need)
+      slabs_.push_back(std::make_unique_for_overwrite<Chunk[]>(kSlabChunks));
+  }
+
+  std::size_t length(VertexId v) const { return heads_[v].len; }
+
+  // Owner-exclusive append of one packed (generation, id) entry.
+  void append(VertexId v, std::uint64_t entry) {
+    Head& h = heads_[v];
+    if (h.head == kNull) h.head = h.tail = alloc_chunk();
+    std::size_t pos = h.len % kChunkCap;
+    if (pos == 0 && h.len != 0) {
+      // Tail chunk full: advance into a retained spare or a fresh chunk.
+      Chunk& tail = chunk(h.tail);
+      std::uint32_t nxt = tail.next;
+      if (nxt == kNull) {
+        nxt = alloc_chunk();
+        tail.next = nxt;
+      }
+      h.tail = nxt;
+    }
+    chunk(h.tail).entry[pos] = entry;
+    ++h.len;
+  }
+
+  // Owner-exclusive scan + in-place compaction: visit(entry) decides
+  // whether the entry is kept; kept entries are repacked in order at the
+  // front of the chain. Chunks freed by the shrink stay linked behind the
+  // new tail for reuse. Returns the pre-compaction length (the scan cost
+  // the caller charges to its work accounting).
+  template <typename Visit>
+  std::size_t compact_visit(VertexId v, Visit&& visit) {
+    Head& h = heads_[v];
+    std::size_t len = h.len;
+    if (len == 0) return 0;
+    std::uint32_t rc = h.head, wc = h.head;
+    std::size_t ri = 0, wi = 0, kept = 0;
+    const Chunk* rch = &chunk(rc);
+    Chunk* wch = &chunk(wc);
+    for (std::size_t k = 0; k < len; ++k) {
+      if (ri == kChunkCap) {
+        rc = rch->next;
+        rch = &chunk(rc);
+        ri = 0;
+      }
+      std::uint64_t e = rch->entry[ri++];
+      if (visit(e)) {
+        if (wi == kChunkCap) {
+          wc = wch->next;
+          wch = &chunk(wc);
+          wi = 0;
+        }
+        wch->entry[wi++] = e;
+        ++kept;
+      }
+    }
+    h.len = static_cast<std::uint32_t>(kept);
+    h.tail = wc;  // chunk holding the last kept entry (head when kept == 0)
+    return len;
+  }
+
+  // Diagnostics: chunks handed out so far.
+  std::size_t chunks_in_use() const {
+    return cursor_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Chunk {  // whole cache lines: no cross-chunk false
+    std::uint64_t entry[kChunkCap];  // sharing between concurrent owners
+    std::uint32_t next;
+  };
+  static_assert(sizeof(Chunk) == 128 && alignof(Chunk) == 64);
+
+  static constexpr std::size_t kSlabChunks = 1u << 12;  // 512 KiB per slab
+
+  struct Head {
+    std::uint32_t head = kNull;  // first chunk of the chain
+    std::uint32_t tail = kNull;  // chunk holding entry len-1 (== head if empty)
+    std::uint32_t len = 0;       // live + not-yet-compacted entries
+  };
+
+  Chunk& chunk(std::uint32_t i) {
+    return slabs_[i / kSlabChunks][i % kSlabChunks];
+  }
+
+  std::uint32_t alloc_chunk() {
+    std::uint32_t i = static_cast<std::uint32_t>(
+        cursor_.fetch_add(1, std::memory_order_relaxed));
+    assert(i < slabs_.size() * kSlabChunks &&
+           "reserve_for not called before appends");
+    Chunk& c = chunk(i);
+    c.next = kNull;  // slabs are uninitialized; the owner links from here
+    return i;
+  }
+
+  std::vector<std::unique_ptr<Chunk[]>> slabs_;
+  std::vector<Head> heads_;
+  std::atomic<std::size_t> cursor_{0};
+};
+
+}  // namespace parmatch::graph

@@ -58,29 +58,30 @@ class EdgePool {
     return id;
   }
 
-  // Batch insert: id assignment (free-list pops + a fresh tail range) is
-  // sequential and O(k); the slot fills -- the O(sum of ranks) part -- run
-  // in parallel over disjoint slots. Ids are assigned in batch order, so
-  // the result is identical to k add_edge calls at any worker count.
-  std::vector<EdgeId> add_edges(const EdgeBatch& batch) {
+  // Batch insert into a caller-owned id buffer (reuses its capacity, so a
+  // steady-state batch allocates nothing). Id assignment is a reserved-range
+  // pop: the batch claims the tail `f` entries of the free list plus a
+  // fresh range of the id space up front, then every slot -- id pick and
+  // vertex fill alike -- is written in parallel. ids[i] equals what k
+  // sequential add_edge calls would have assigned (free-list tail popped
+  // back-to-front, then fresh ids in batch order) at any worker count.
+  void add_edges(const EdgeBatch& batch, std::vector<EdgeId>& ids) {
     std::size_t k = batch.size();
-    std::vector<EdgeId> ids(k);
-    for (std::size_t i = 0; i < k; ++i) {
-      if (!free_.empty()) {
-        ids[i] = free_.back();
-        free_.pop_back();
-      } else {
-        ids[i] = static_cast<EdgeId>(rank_.size());
-        rank_.push_back(0);
-        gen_.push_back(0);
-      }
-    }
+    ids.resize(k);
+    std::size_t f = k < free_.size() ? k : free_.size();
+    std::size_t free_top = free_.size();      // pops come off the tail
+    std::size_t fresh0 = rank_.size();        // first fresh id
+    rank_.resize(fresh0 + (k - f), 0);
+    gen_.resize(fresh0 + (k - f), 0);
     verts_.resize(rank_.size() * max_rank_);
+    const bool seq = parallel::sequential_mode();
     std::atomic<VertexId> vb(vertex_bound_);
     parallel::parallel_for(0, k, [&](std::size_t i) {
       auto vs = batch.edge(i);
       assert(vs.size() >= 1 && vs.size() <= max_rank_);
-      EdgeId id = ids[i];
+      EdgeId id = i < f ? free_[free_top - 1 - i]
+                        : static_cast<EdgeId>(fresh0 + (i - f));
+      ids[i] = id;
       rank_[id] = static_cast<std::uint8_t>(vs.size());
       VertexId* dst = verts_.data() + static_cast<std::size_t>(id) * max_rank_;
       VertexId local = 0;
@@ -88,13 +89,24 @@ class EdgePool {
         dst[j] = vs[j];
         if (vs[j] + 1 > local) local = vs[j] + 1;
       }
+      if (seq) {  // plain max: the CAS loop is overhead without concurrency
+        if (local > vb.load(std::memory_order_relaxed))
+          vb.store(local, std::memory_order_relaxed);
+        return;
+      }
       VertexId cur = vb.load(std::memory_order_relaxed);
       while (local > cur &&
              !vb.compare_exchange_weak(cur, local, std::memory_order_relaxed)) {
       }
     });
+    free_.resize(free_top - f);
     vertex_bound_ = vb.load(std::memory_order_relaxed);
     live_ += k;
+  }
+
+  std::vector<EdgeId> add_edges(const EdgeBatch& batch) {
+    std::vector<EdgeId> ids;
+    add_edges(batch, ids);
     return ids;
   }
 

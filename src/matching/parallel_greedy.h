@@ -26,6 +26,7 @@
 #include "parallel/parallel_for.h"
 #include "prims/filter.h"
 #include "util/rng.h"
+#include "util/scratch_arena.h"
 
 namespace parmatch::matching {
 
@@ -46,31 +47,44 @@ inline bool beats(std::uint64_t pa, graph::EdgeId a, std::uint64_t pb,
 //  * min_edge    -- scratch, sized >= pool.vertex_bound(), all kInvalidEdge
 //                   on entry and restored to kInvalidEdge on exit;
 //  * matched_out -- newly matched ids are appended (if non-null);
+//  * arena       -- scratch for the per-round winner/survivor packs; the
+//                   caller must keep it alive (and not reset it) for the
+//                   duration of the call;
 //  * work        -- accumulates edges touched (if non-null);
 //  * depth       -- accumulates measured span (if non-null): each round is
 //                   five data-parallel primitives over the active set, so it
 //                   charges 5 * parallel::model_depth(|active|).
-// Returns the number of rounds.
+// Returns the number of rounds. Allocation-free given warm buffers: round
+// scratch comes from the arena, matched_out reuses its capacity.
 template <typename PriFn>
 std::size_t greedy_match_rounds(const graph::EdgePool& pool,
-                                std::vector<graph::EdgeId> active,
+                                std::span<const graph::EdgeId> active,
                                 PriFn&& pri,
                                 std::vector<graph::EdgeId>& taken_by,
                                 std::vector<graph::EdgeId>& min_edge,
                                 std::vector<graph::EdgeId>* matched_out,
+                                ScratchArena& arena,
                                 std::size_t* work = nullptr,
                                 std::size_t* depth = nullptr) {
   using graph::EdgeId;
   using graph::kInvalidEdge;
+  const bool seq = parallel::sequential_mode();
   std::size_t rounds = 0;
   while (!active.empty()) {
     ++rounds;
     if (work) *work += active.size();
     if (depth) *depth += 5 * parallel::model_depth(active.size());
-    // Claim: each active edge CAS-mins itself into every endpoint slot.
+    // Claim: each active edge CAS-mins itself into every endpoint slot
+    // (plain compare-and-store when the pool is sequential).
     parallel::parallel_for(0, active.size(), [&](std::size_t i) {
       EdgeId e = active[i];
       for (graph::VertexId v : pool.vertices(e)) {
+        if (seq) {
+          EdgeId cur = min_edge[v];
+          if (cur == kInvalidEdge || detail::beats(pri(e), e, pri(cur), cur))
+            min_edge[v] = e;
+          continue;
+        }
         std::atomic_ref<EdgeId> slot(min_edge[v]);
         EdgeId cur = slot.load(std::memory_order_relaxed);
         while (cur == kInvalidEdge ||
@@ -81,11 +95,14 @@ std::size_t greedy_match_rounds(const graph::EdgePool& pool,
       }
     });
     // Commit: winners own every endpoint slot.
-    auto winners = prims::filter(std::span<const EdgeId>(active), [&](EdgeId e) {
-      for (graph::VertexId v : pool.vertices(e))
-        if (min_edge[v] != e) return false;
-      return true;
-    });
+    auto winners = prims::filter_marked(
+        active,
+        [&](EdgeId e) {
+          for (graph::VertexId v : pool.vertices(e))
+            if (min_edge[v] != e) return false;
+          return true;
+        },
+        arena);
     parallel::parallel_for(0, winners.size(), [&](std::size_t i) {
       EdgeId e = winners[i];
       for (graph::VertexId v : pool.vertices(e)) taken_by[v] = e;
@@ -96,17 +113,41 @@ std::size_t greedy_match_rounds(const graph::EdgePool& pool,
     // Atomic store: several active edges share a vertex, so the same slot
     // is reset concurrently (same value, but a race without the atomic).
     parallel::parallel_for(0, active.size(), [&](std::size_t i) {
-      for (graph::VertexId v : pool.vertices(active[i]))
-        std::atomic_ref<EdgeId>(min_edge[v])
-            .store(kInvalidEdge, std::memory_order_relaxed);
+      for (graph::VertexId v : pool.vertices(active[i])) {
+        if (seq)
+          min_edge[v] = kInvalidEdge;
+        else
+          std::atomic_ref<EdgeId>(min_edge[v])
+              .store(kInvalidEdge, std::memory_order_relaxed);
+      }
     });
-    active = prims::filter(std::span<const EdgeId>(active), [&](EdgeId e) {
-      for (graph::VertexId v : pool.vertices(e))
-        if (taken_by[v] != kInvalidEdge) return false;
-      return true;
-    });
+    active = prims::filter_marked(
+        active,
+        [&](EdgeId e) {
+          for (graph::VertexId v : pool.vertices(e))
+            if (taken_by[v] != kInvalidEdge) return false;
+          return true;
+        },
+        arena);
   }
   return rounds;
+}
+
+// Vector-friendly wrapper (static matcher and tests): scratch comes from a
+// call-local arena.
+template <typename PriFn>
+std::size_t greedy_match_rounds(const graph::EdgePool& pool,
+                                std::vector<graph::EdgeId> active,
+                                PriFn&& pri,
+                                std::vector<graph::EdgeId>& taken_by,
+                                std::vector<graph::EdgeId>& min_edge,
+                                std::vector<graph::EdgeId>* matched_out,
+                                std::size_t* work = nullptr,
+                                std::size_t* depth = nullptr) {
+  ScratchArena arena;
+  return greedy_match_rounds(pool, std::span<const graph::EdgeId>(active),
+                             pri, taken_by, min_edge, matched_out, arena,
+                             work, depth);
 }
 
 // Static maximal matching over `ids` with fresh priorities drawn from

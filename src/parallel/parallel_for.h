@@ -24,6 +24,13 @@ inline std::size_t model_depth(std::size_t n) {
   return n <= 1 ? 1 : 1 + static_cast<std::size_t>(std::bit_width(n - 1));
 }
 
+// True when the pool has exactly one worker (PARMATCH_SEQ=1 or a 1-core
+// host). Parallel phases then run inline on the caller, so hot loops may
+// take plain-memory fallbacks for their CAS/fetch-add sites -- the results
+// are identical by the determinism contract (DESIGN.md S2), but the
+// lock-prefixed instructions are pure overhead without concurrency.
+inline bool sequential_mode() { return num_workers() == 1; }
+
 inline std::size_t default_grain(std::size_t n) {
   std::size_t p = static_cast<std::size_t>(num_workers());
   std::size_t g = n / (8 * p) + 1;

@@ -2,30 +2,43 @@
 // primitive behind every "keep the still-active edges" step in the greedy
 // rounds (matching/parallel_greedy.h) and the settle loop.
 //
+// Two families: the vector-returning originals, and allocation-free
+// variants that carve output and block-count scratch out of a caller
+// ScratchArena (DESIGN.md S7's zero-allocation batch contract). pack_index
+// is the generic core -- filter, dedup_sorted and the matcher's
+// index-space packs are all instances of it.
+//
 // Complexity contract: O(n) work, O(P + n/P) span, output order preserved
 // (count + scan + scatter, so results are deterministic across P).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "parallel/parallel_for.h"
+#include "util/scratch_arena.h"
 
 namespace parmatch::prims {
 
-template <typename T, typename Pred>
-std::vector<T> filter(std::span<const T> in, Pred&& keep) {
-  std::size_t n = in.size();
-  if (n == 0) return {};
-  std::size_t grain = parallel::default_grain(n);
-  std::size_t blocks = (n + grain - 1) / grain;
-  std::vector<std::size_t> count(blocks, 0);
+namespace detail {
+
+// Blocked count+scan over [0, n): after the call, count[b] is the output
+// offset of block b's first kept element; returns the total kept.
+template <typename KeepFn>
+std::size_t pack_offsets(std::size_t n, std::size_t grain,
+                         std::span<std::size_t> count, KeepFn&& keep) {
+  std::size_t blocks = count.size();
+  // Zero first: the sequential fast path delivers one [0, n) chunk and
+  // writes only count[0]; arena scratch arrives uninitialized.
+  std::fill(count.begin(), count.end(), std::size_t{0});
   parallel::parallel_for_blocked(
       0, n,
       [&](std::size_t b, std::size_t e) {
         std::size_t c = 0;
-        for (std::size_t i = b; i < e; ++i) c += keep(in[i]) ? 1 : 0;
+        for (std::size_t i = b; i < e; ++i) c += keep(i) ? 1 : 0;
         count[b / grain] = c;
       },
       grain);
@@ -35,15 +48,123 @@ std::vector<T> filter(std::span<const T> in, Pred&& keep) {
     count[i] = total;
     total += c;
   }
-  std::vector<T> out(total);
+  return total;
+}
+
+template <typename T, typename KeepFn, typename MapFn>
+void pack_scatter(std::size_t n, std::size_t grain,
+                  std::span<const std::size_t> count, T* out, KeepFn&& keep,
+                  MapFn&& map) {
   parallel::parallel_for_blocked(
       0, n,
       [&](std::size_t b, std::size_t e) {
         std::size_t pos = count[b / grain];
         for (std::size_t i = b; i < e; ++i)
-          if (keep(in[i])) out[pos++] = in[i];
+          if (keep(i)) out[pos++] = map(i);
       },
       grain);
+}
+
+}  // namespace detail
+
+// Packs map(i) for every index i in [0, n) with keep(i), order preserved.
+// Output and scratch live in the arena.
+template <typename T, typename KeepFn, typename MapFn>
+std::span<T> pack_index(std::size_t n, KeepFn&& keep, MapFn&& map,
+                        ScratchArena& arena) {
+  if (n == 0) return {};
+  std::size_t grain = parallel::default_grain(n);
+  std::size_t blocks = (n + grain - 1) / grain;
+  auto count = arena.alloc<std::size_t>(blocks);
+  std::size_t total = detail::pack_offsets(n, grain, count, keep);
+  auto out = arena.alloc<T>(total);
+  detail::pack_scatter(n, grain, count, out.data(), keep, map);
+  return out;
+}
+
+// Arena filter: keep(in[i]) elements, order preserved.
+template <typename T, typename Pred>
+std::span<T> filter(std::span<const T> in, Pred&& keep, ScratchArena& arena) {
+  return pack_index<T>(
+      in.size(), [&](std::size_t i) { return keep(in[i]); },
+      [&](std::size_t i) { return in[i]; }, arena);
+}
+
+// Dual pack over one keep predicate: map_a(i) goes to the reusable vector
+// out_a, map_b(i) to the returned arena span, both order-preserving and
+// written by ONE count + ONE scatter (the settle loop's survivors/samples
+// split). Cheaper than two pack_index calls whenever the keep sets match.
+template <typename A, typename B, typename KeepFn, typename MapAFn,
+          typename MapBFn>
+std::span<B> pack_index2(std::size_t n, KeepFn&& keep, MapAFn&& map_a,
+                         std::vector<A>& out_a, MapBFn&& map_b,
+                         ScratchArena& arena) {
+  out_a.clear();
+  if (n == 0) return {};
+  std::size_t grain = parallel::default_grain(n);
+  std::size_t blocks = (n + grain - 1) / grain;
+  auto count = arena.alloc<std::size_t>(blocks);
+  std::size_t total = detail::pack_offsets(n, grain, count, keep);
+  out_a.resize(total);
+  auto out_b = arena.alloc<B>(total);
+  parallel::parallel_for_blocked(
+      0, n,
+      [&](std::size_t b, std::size_t e) {
+        std::size_t pos = count[b / grain];
+        for (std::size_t i = b; i < e; ++i)
+          if (keep(i)) {
+            out_a[pos] = map_a(i);
+            out_b[pos] = map_b(i);
+            ++pos;
+          }
+      },
+      grain);
+  return out_b;
+}
+
+// Filter for expensive predicates: evaluates keep exactly once per element
+// into a mark array, then packs on the marks -- the plain filter's
+// count+scatter shape evaluates the predicate twice. Same output, same
+// determinism, one extra cheap pass instead of one extra expensive one.
+template <typename T, typename Pred>
+std::span<T> filter_marked(std::span<const T> in, Pred&& keep,
+                           ScratchArena& arena) {
+  std::size_t n = in.size();
+  if (n == 0) return {};
+  auto marks = arena.alloc<std::uint8_t>(n);
+  parallel::parallel_for(
+      0, n, [&](std::size_t i) { marks[i] = keep(in[i]) ? 1 : 0; });
+  return pack_index<T>(
+      n, [&](std::size_t i) { return marks[i] != 0; },
+      [&](std::size_t i) { return in[i]; }, arena);
+}
+
+// Parallel dedup of a sorted span: keeps the first of every run of equal
+// elements. The parallel replacement for sequential std::unique on the
+// batch hot paths (DESIGN.md S7).
+template <typename T>
+std::span<T> dedup_sorted(std::span<const T> in, ScratchArena& arena) {
+  return pack_index<T>(
+      in.size(),
+      [&](std::size_t i) { return i == 0 || in[i] != in[i - 1]; },
+      [&](std::size_t i) { return in[i]; }, arena);
+}
+
+// Original vector-returning filter (cold paths and tests).
+template <typename T, typename Pred>
+std::vector<T> filter(std::span<const T> in, Pred&& keep) {
+  std::size_t n = in.size();
+  if (n == 0) return {};
+  std::size_t grain = parallel::default_grain(n);
+  std::size_t blocks = (n + grain - 1) / grain;
+  std::vector<std::size_t> count(blocks, 0);
+  auto keep_i = [&](std::size_t i) { return keep(in[i]); };
+  std::size_t total = detail::pack_offsets(
+      n, grain, std::span<std::size_t>(count), keep_i);
+  std::vector<T> out(total);
+  detail::pack_scatter(n, grain, std::span<const std::size_t>(count),
+                       out.data(), keep_i,
+                       [&](std::size_t i) { return in[i]; });
   return out;
 }
 

@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "parallel/parallel_for.h"
+#include "prims/filter.h"
 #include "prims/radix_sort.h"
+#include "util/scratch_arena.h"
 
 namespace parmatch::prims {
 
@@ -64,6 +66,78 @@ Grouped<K, V> group_by(std::span<const K> keys, std::span<const V> values) {
     }
   }
   out.offsets.push_back(static_cast<std::uint32_t>(n));
+  return out;
+}
+
+// Arena semisort: same grouping, but every buffer (pair staging, sort
+// scratch, outputs) is carved from the caller's ScratchArena, and the
+// boundary detection runs as a parallel pack instead of a sequential scan.
+// View spans are valid until the arena resets.
+template <typename K, typename V>
+struct GroupedView {
+  std::span<const K> keys;                 // distinct keys, ascending
+  std::span<const std::uint32_t> offsets;  // num_groups()+1 offsets
+  std::span<const V> values;
+
+  std::size_t num_groups() const { return keys.size(); }
+  std::span<const V> group(std::size_t g) const {
+    return {values.data() + offsets[g], values.data() + offsets[g + 1]};
+  }
+};
+
+// `max_key_bound`, when nonzero, is a caller-known upper bound on the keys
+// (e.g. the graph's vertex bound) and skips the sequential max scan.
+template <typename K, typename V>
+GroupedView<K, V> group_by(std::span<const K> keys, std::span<const V> values,
+                           ScratchArena& arena,
+                           std::uint64_t max_key_bound = 0) {
+  GroupedView<K, V> out;
+  std::size_t n = keys.size();
+  if (n == 0) {
+    auto offs = arena.alloc<std::uint32_t>(1);
+    offs[0] = 0;
+    out.offsets = offs;
+    return out;
+  }
+  struct Pair {
+    K k;
+    V v;
+  };
+  auto pairs = arena.alloc<Pair>(n);
+  std::uint64_t maxk = max_key_bound;
+  if (maxk == 0) {
+    for (std::size_t i = 0; i < n; ++i) {  // fallback: sequential max
+      if (static_cast<std::uint64_t>(keys[i]) > maxk)
+        maxk = static_cast<std::uint64_t>(keys[i]);
+    }
+  }
+  parallel::parallel_for(0, n, [&](std::size_t i) {
+    pairs[i] = Pair{keys[i], values[i]};
+  });
+  int bits = std::bit_width(static_cast<std::uint64_t>(maxk));
+  if (bits == 0) bits = 1;
+  radix_sort(std::span<Pair>(pairs),
+             [](const Pair& p) { return static_cast<std::uint64_t>(p.k); },
+             bits, arena);
+  auto vals = arena.alloc<V>(n);
+  parallel::parallel_for(0, n,
+                         [&](std::size_t i) { vals[i] = pairs[i].v; });
+  // Group boundaries as a parallel pack over indices.
+  auto starts = pack_index<std::uint32_t>(
+      n,
+      [&](std::size_t i) { return i == 0 || pairs[i].k != pairs[i - 1].k; },
+      [](std::size_t i) { return static_cast<std::uint32_t>(i); }, arena);
+  std::size_t ng = starts.size();
+  auto gkeys = arena.alloc<K>(ng);
+  auto offs = arena.alloc<std::uint32_t>(ng + 1);
+  parallel::parallel_for(0, ng, [&](std::size_t g) {
+    gkeys[g] = pairs[starts[g]].k;
+    offs[g] = starts[g];
+  });
+  offs[ng] = static_cast<std::uint32_t>(n);
+  out.keys = gkeys;
+  out.offsets = offs;
+  out.values = vals;
   return out;
 }
 

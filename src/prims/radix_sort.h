@@ -4,6 +4,10 @@
 // keeps downstream group_by and random_permutation deterministic regardless
 // of worker count.
 //
+// Two entry points: the vector one (staging buffer allocated per call) and
+// the arena one, whose staging buffer and histograms come from a caller
+// ScratchArena so hot-path sorts allocate nothing (DESIGN.md S7).
+//
 // Complexity contract: O(n * bits/8) work; each 8-bit pass is a blocked
 // histogram + scan + stable scatter with O(P * 256 + n/P) span.
 #pragma once
@@ -11,40 +15,59 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "parallel/parallel_for.h"
+#include "util/scratch_arena.h"
 
 namespace parmatch::prims {
 
-// Sorts v so that key(v[i]) is non-decreasing, considering only the low
-// `bits` bits of the key. Stable.
+namespace detail {
+
+// Below this size the blocked histogram machinery (a 256-counter clear per
+// pass) dwarfs the sort itself; a stable binary-insertion pass is faster
+// and equally deterministic. Hot-path calls (victim dedup, settle dedup,
+// bloat ordering) are usually this small.
+inline constexpr std::size_t kRadixSmallCutoff = 64;
+
 template <typename T, typename KeyFn>
-void radix_sort(std::vector<T>& v, KeyFn&& key, int bits = 64) {
+void insertion_sort(T* v, std::size_t n, KeyFn&& key) {
+  for (std::size_t i = 1; i < n; ++i) {
+    T x = v[i];
+    std::uint64_t kx = key(x);
+    std::size_t j = i;
+    while (j > 0 && key(v[j - 1]) > kx) {  // strict: equal keys keep order
+      v[j] = v[j - 1];
+      --j;
+    }
+    v[j] = x;
+  }
+}
+
+// Core passes over (data, buf). Returns true if the sorted result ended in
+// buf (odd number of passes).
+template <typename T, typename KeyFn>
+bool radix_passes(T* data, T* buf, std::size_t n, KeyFn&& key, int bits,
+                  std::uint32_t* hist, std::size_t blocks,
+                  std::size_t grain) {
   constexpr int kRadixBits = 8;
   constexpr std::size_t kBuckets = 1u << kRadixBits;
-  std::size_t n = v.size();
-  if (n <= 1) return;
-
-  std::vector<T> buf(n);
-  std::size_t grain = parallel::default_grain(n);
-  std::size_t blocks = (n + grain - 1) / grain;
-  std::vector<std::uint32_t> hist(blocks * kBuckets);
-
-  T* src = v.data();
-  T* dst = buf.data();
+  T* src = data;
+  T* dst = buf;
   bool swapped = false;
   for (int shift = 0; shift < bits; shift += kRadixBits) {
     std::uint64_t mask = kBuckets - 1;
     // Full clear: the scheduler may deliver the range as fewer, larger
     // chunks than there are blocks (e.g. the sequential fallback), so
     // zeroing only visited blocks would leave stale counts behind.
-    std::fill(hist.begin(), hist.end(), 0);
+    std::memset(hist, 0, blocks * kBuckets * sizeof(std::uint32_t));
     parallel::parallel_for_blocked(
         0, n,
         [&](std::size_t b, std::size_t e) {
-          std::uint32_t* h = hist.data() + (b / grain) * kBuckets;
+          std::uint32_t* h = hist + (b / grain) * kBuckets;
           for (std::size_t i = b; i < e; ++i)
             ++h[(key(src[i]) >> shift) & mask];
         },
@@ -62,7 +85,7 @@ void radix_sort(std::vector<T>& v, KeyFn&& key, int bits = 64) {
     parallel::parallel_for_blocked(
         0, n,
         [&](std::size_t b, std::size_t e) {
-          std::uint32_t* h = hist.data() + (b / grain) * kBuckets;
+          std::uint32_t* h = hist + (b / grain) * kBuckets;
           for (std::size_t i = b; i < e; ++i)
             dst[h[(key(src[i]) >> shift) & mask]++] = src[i];
         },
@@ -70,7 +93,57 @@ void radix_sort(std::vector<T>& v, KeyFn&& key, int bits = 64) {
     std::swap(src, dst);
     swapped = !swapped;
   }
-  if (swapped) v.swap(buf);
+  return swapped;
+}
+
+}  // namespace detail
+
+// Sorts v so that key(v[i]) is non-decreasing, considering only the low
+// `bits` bits of the key. Stable.
+template <typename T, typename KeyFn>
+void radix_sort(std::vector<T>& v, KeyFn&& key, int bits = 64) {
+  constexpr std::size_t kBuckets = 256;
+  std::size_t n = v.size();
+  if (n <= 1) return;
+  if (n <= detail::kRadixSmallCutoff) {
+    detail::insertion_sort(v.data(), n, key);
+    return;
+  }
+  std::vector<T> buf(n);
+  std::size_t grain = parallel::default_grain(n);
+  if (grain < 1024) grain = 1024;  // see the arena variant
+  std::size_t blocks = (n + grain - 1) / grain;
+  std::vector<std::uint32_t> hist(blocks * kBuckets);
+  if (detail::radix_passes(v.data(), buf.data(), n, key, bits, hist.data(),
+                           blocks, grain))
+    v.swap(buf);
+}
+
+// In-place arena variant: staging and histograms are arena scratch. After
+// an odd number of passes the result is copied back in parallel, so the
+// caller's span always holds the sorted data.
+template <typename T, typename KeyFn>
+void radix_sort(std::span<T> v, KeyFn&& key, int bits, ScratchArena& arena) {
+  constexpr std::size_t kBuckets = 256;
+  std::size_t n = v.size();
+  if (n <= 1) return;
+  if (n <= detail::kRadixSmallCutoff) {
+    detail::insertion_sort(v.data(), n, key);
+    return;
+  }
+  auto buf = arena.alloc<T>(n);
+  // Histogram memory is blocks * 1 KiB and every pass clears it; a grain
+  // floor keeps small sorts from paying for parallelism they cannot use.
+  std::size_t grain = parallel::default_grain(n);
+  if (grain < 1024) grain = 1024;
+  std::size_t blocks = (n + grain - 1) / grain;
+  auto hist = arena.alloc<std::uint32_t>(blocks * kBuckets);
+  if (detail::radix_passes(v.data(), buf.data(), n, key, bits, hist.data(),
+                           blocks, grain)) {
+    parallel::parallel_for_blocked(0, n, [&](std::size_t b, std::size_t e) {
+      std::memcpy(v.data() + b, buf.data() + b, (e - b) * sizeof(T));
+    });
+  }
 }
 
 }  // namespace parmatch::prims

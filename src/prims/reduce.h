@@ -7,24 +7,27 @@
 // span on P workers; iota is O(n) work.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <numeric>
 #include <span>
 #include <vector>
 
 #include "parallel/parallel_for.h"
+#include "util/scratch_arena.h"
 
 namespace parmatch::prims {
 
+namespace detail {
+
 template <typename T>
-T reduce(std::span<const T> in) {
-  std::size_t n = in.size();
-  if (n == 0) return T{};
-  std::size_t grain = parallel::default_grain(n);
-  std::size_t blocks = (n + grain - 1) / grain;
-  std::vector<T> partial(blocks, T{});
+T reduce_blocked(std::span<const T> in, std::span<T> partial,
+                 std::size_t grain) {
+  // Zero first: the sequential fast path delivers one [0, n) chunk and
+  // writes only partial[0]; arena scratch arrives uninitialized.
+  std::fill(partial.begin(), partial.end(), T{});
   parallel::parallel_for_blocked(
-      0, n,
+      0, in.size(),
       [&](std::size_t b, std::size_t e) {
         T acc{};
         for (std::size_t i = b; i < e; ++i) acc = acc + in[i];
@@ -36,14 +39,37 @@ T reduce(std::span<const T> in) {
   return total;
 }
 
-// In-place exclusive prefix sum; returns the total.
+}  // namespace detail
+
 template <typename T>
-T scan_exclusive(std::span<T> v) {
-  std::size_t n = v.size();
+T reduce(std::span<const T> in) {
+  std::size_t n = in.size();
   if (n == 0) return T{};
   std::size_t grain = parallel::default_grain(n);
   std::size_t blocks = (n + grain - 1) / grain;
   std::vector<T> partial(blocks, T{});
+  return detail::reduce_blocked(in, std::span<T>(partial), grain);
+}
+
+// Allocation-free variant: block partials live in the arena.
+template <typename T>
+T reduce(std::span<const T> in, ScratchArena& arena) {
+  std::size_t n = in.size();
+  if (n == 0) return T{};
+  std::size_t grain = parallel::default_grain(n);
+  std::size_t blocks = (n + grain - 1) / grain;
+  auto partial = arena.alloc<T>(blocks);
+  return detail::reduce_blocked(in, partial, grain);
+}
+
+namespace detail {
+
+template <typename T>
+T scan_exclusive_blocked(std::span<T> v, std::span<T> partial,
+                         std::size_t grain) {
+  std::size_t n = v.size();
+  std::size_t blocks = partial.size();
+  std::fill(partial.begin(), partial.end(), T{});  // see reduce_blocked
   parallel::parallel_for_blocked(
       0, n,
       [&](std::size_t b, std::size_t e) {
@@ -70,6 +96,30 @@ T scan_exclusive(std::span<T> v) {
       },
       grain);
   return total;
+}
+
+}  // namespace detail
+
+// In-place exclusive prefix sum; returns the total.
+template <typename T>
+T scan_exclusive(std::span<T> v) {
+  std::size_t n = v.size();
+  if (n == 0) return T{};
+  std::size_t grain = parallel::default_grain(n);
+  std::size_t blocks = (n + grain - 1) / grain;
+  std::vector<T> partial(blocks, T{});
+  return detail::scan_exclusive_blocked(v, std::span<T>(partial), grain);
+}
+
+// Allocation-free variant: block partials live in the arena.
+template <typename T>
+T scan_exclusive(std::span<T> v, ScratchArena& arena) {
+  std::size_t n = v.size();
+  if (n == 0) return T{};
+  std::size_t grain = parallel::default_grain(n);
+  std::size_t blocks = (n + grain - 1) / grain;
+  auto partial = arena.alloc<T>(blocks);
+  return detail::scan_exclusive_blocked(v, partial, grain);
 }
 
 template <typename T>

@@ -40,7 +40,8 @@ class DynamicSetCover {
       : matcher_(make_config(max_freq, seed)) {}
 
   std::vector<ElementId> insert_elements(const ElementBatch& batch) {
-    return matcher_.insert_edges(batch);
+    auto ids = matcher_.insert_edges(batch);  // span into matcher scratch
+    return {ids.begin(), ids.end()};
   }
 
   void delete_elements(const std::vector<ElementId>& ids) {

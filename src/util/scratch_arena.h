@@ -1,0 +1,109 @@
+// util/scratch_arena.h -- bump-pointer scratch memory for the batch
+// pipeline (DESIGN.md S7). Every transient buffer a batch phase needs
+// (filter outputs, radix sort staging, semisort pairs, settle draws) is
+// carved out of one reusable arena instead of a fresh std::vector, so a
+// steady-state batch performs zero heap allocations: blocks are retained
+// across reset() and only grow while a new high-water mark is being set.
+//
+// Allocation is blockwise bump: alloc<T>(n) returns a span inside the
+// current block, opening a new block (geometric sizing) only when the
+// current one cannot fit the request. Previously returned spans are never
+// moved or invalidated by later allocations -- only reset() recycles them.
+// Memory is returned raw (no construction): callers treat it as
+// uninitialized storage for trivial types, which every pipeline scratch
+// type is.
+//
+// Not thread-safe by design: allocation happens on the (single) thread
+// driving the batch, between parallel phases; the parallel phases
+// themselves only read/write the carved spans.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace parmatch {
+
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  // Uninitialized storage for n objects of trivial type T, aligned for T.
+  template <typename T>
+  std::span<T> alloc(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "arena storage is raw memory");
+    // Blocks come from plain operator new[], which only guarantees the
+    // default new alignment; over-aligned types would get UB silently.
+    static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                  "arena blocks are not over-aligned");
+    std::size_t bytes = n * sizeof(T);
+    void* p = alloc_bytes(bytes, alignof(T));
+    return {static_cast<T*>(p), n};
+  }
+
+  // Rewinds every block; capacity (and the block list) is retained, so a
+  // reset+refill cycle that stays under the high-water mark is free.
+  void reset() {
+    for (Block& b : blocks_) b.used = 0;
+    cur_ = 0;
+  }
+
+  // Bytes currently reserved across all blocks (diagnostics / tests).
+  std::size_t capacity() const {
+    std::size_t c = 0;
+    for (const Block& b : blocks_) c += b.size;
+    return c;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> mem;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  static constexpr std::size_t kMinBlock = 1u << 16;  // 64 KiB
+
+  void* alloc_bytes(std::size_t bytes, std::size_t align) {
+    // Find a block with room, starting at the current one (earlier blocks
+    // were exhausted for this cycle; later ones are leftovers from a
+    // previous, larger cycle).
+    for (; cur_ < blocks_.size(); ++cur_) {
+      Block& b = blocks_[cur_];
+      std::size_t at = round_up(b.used, align);
+      if (at + bytes <= b.size) {
+        b.used = at + bytes;
+        return b.mem.get() + at;
+      }
+    }
+    std::size_t grown = blocks_.empty() ? kMinBlock : 2 * blocks_.back().size;
+    std::size_t size = grown > bytes + align ? grown : bytes + align;
+    Block b;
+    b.mem = std::make_unique<std::byte[]>(size);
+    b.size = size;
+    std::size_t at =
+        round_up(reinterpret_cast<std::uintptr_t>(b.mem.get()), align) -
+        reinterpret_cast<std::uintptr_t>(b.mem.get());
+    b.used = at + bytes;
+    void* p = b.mem.get() + at;
+    blocks_.push_back(std::move(b));
+    cur_ = blocks_.size() - 1;
+    return p;
+  }
+
+  static std::size_t round_up(std::size_t v, std::size_t align) {
+    return (v + align - 1) & ~(align - 1);
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t cur_ = 0;
+};
+
+}  // namespace parmatch

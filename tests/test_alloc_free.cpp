@@ -1,0 +1,103 @@
+// Steady-state allocation audit (DESIGN.md S7): once the matcher's
+// workspace is warm, insert_edges / delete_edges must perform ZERO heap
+// allocations. This binary replaces the global operator new/delete with
+// counting versions (which is why it is a separate test executable --
+// parmatch_alloc_test -- instead of a TU of the main suite) and asserts the
+// counter does not move across post-warmup batches.
+//
+// The warmup drives enough churn cycles that every named workspace vector
+// reaches its high-water capacity, the bump arena its high-water footprint,
+// the adjacency arena its chunk headroom, and the pool its id-space
+// ceiling; afterwards the same cycle shapes repeat, so any allocation in
+// the measured window is a regression in the allocation-free contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "dyn/dynamic_matcher.h"
+#include "gen/generators.h"
+
+namespace {
+std::atomic<std::uint64_t> g_news{0};
+}
+
+// Global replacements: every allocation in this binary funnels through
+// malloc/free with a counter bump. Sized/aligned/array forms included so
+// nothing bypasses the count.
+void* operator new(std::size_t sz) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz) { return ::operator new(sz); }
+void* operator new(std::size_t sz, std::align_val_t al) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(al),
+                                   (sz + static_cast<std::size_t>(al) - 1) &
+                                       ~(static_cast<std::size_t>(al) - 1)))
+    return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz, std::align_val_t al) {
+  return ::operator new(sz, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace parmatch;
+using graph::EdgeId;
+
+TEST(AllocFree, SteadyStateBatchesDoNotTouchTheHeap) {
+  dyn::Config cfg;
+  cfg.seed = 11;
+  dyn::DynamicMatcher dm(cfg);
+
+  // Prebuild everything the driver itself needs: batches, and a reusable
+  // delete-id buffer with capacity reserved up front.
+  std::vector<graph::EdgeBatch> batches;
+  for (int b = 0; b < 4; ++b)
+    batches.push_back(gen::erdos_renyi(400, 1'600, 100 + b));
+  std::vector<EdgeId> pending_delete;
+  pending_delete.reserve(4'000);
+
+  auto run_cycle = [&](int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      for (const auto& batch : batches) {
+        auto ids = dm.insert_edges(batch);
+        pending_delete.assign(ids.begin(), ids.end());
+        dm.delete_edges(pending_delete);
+      }
+    }
+  };
+
+  run_cycle(12);  // warmup: reach every high-water mark
+
+  std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  run_cycle(6);  // measured window: identical shapes, warm buffers
+  std::uint64_t after = g_news.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state batches performed " << (after - before)
+      << " heap allocations (allocation-free contract, DESIGN.md S7)";
+
+  // The scratch arena really is in use (the audit is not vacuous).
+  EXPECT_GT(dm.workspace().arena.capacity(), 0u);
+}
+
+}  // namespace

@@ -1,6 +1,7 @@
 // Scheduler / parallel_for tests (DESIGN.md S2).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <vector>
 
@@ -37,13 +38,72 @@ TEST(Parallel, EmptyAndSingletonRanges) {
   EXPECT_EQ(count, 1);
 }
 
-TEST(Parallel, NestedLoopsRunSequentiallyAndCorrectly) {
+TEST(Parallel, NestedLoopsCoverEveryIndex) {
   std::size_t n = 64;
   std::vector<std::uint32_t> out(n * n, 0);
   parallel::parallel_for(0, n, [&](std::size_t i) {
     parallel::parallel_for(0, n, [&](std::size_t j) { out[i * n + j] = 1; });
   });
   for (auto v : out) ASSERT_EQ(v, 1u);
+}
+
+// Nested stress with forced forking: grain 1 everywhere, three levels deep,
+// every leaf increments its cell exactly once. Exercises the deque push /
+// pop / steal paths (the old shared-cursor pool ran nested levels
+// sequentially; the work-stealing pool forks them for real).
+TEST(Parallel, NestedStressThreeLevelsGrainOne) {
+  constexpr std::size_t kA = 16, kB = 16, kC = 16;
+  std::vector<std::uint8_t> hit(kA * kB * kC, 0);
+  for (int rep = 0; rep < 8; ++rep) {
+    std::fill(hit.begin(), hit.end(), 0);
+    parallel::parallel_for(
+        0, kA,
+        [&](std::size_t a) {
+          parallel::parallel_for(
+              0, kB,
+              [&](std::size_t b) {
+                parallel::parallel_for(
+                    0, kC,
+                    [&](std::size_t c) { ++hit[(a * kB + b) * kC + c]; }, 1);
+              },
+              1);
+        },
+        1);
+    for (std::size_t i = 0; i < hit.size(); ++i) ASSERT_EQ(hit[i], 1) << i;
+  }
+}
+
+// Uneven grains: iteration i does ~i units of work, grain 1, so chunk
+// runtimes span three orders of magnitude. The range must still be covered
+// exactly once and the slow tail must not lose updates to stealing races.
+TEST(Parallel, UnevenGrainWorkDistribution) {
+  std::size_t n = 1024;
+  std::vector<std::uint64_t> out(n, 0);
+  std::atomic<std::uint64_t> sum{0};
+  parallel::parallel_for(
+      0, n,
+      [&](std::size_t i) {
+        std::uint64_t acc = 0;
+        for (std::size_t k = 0; k < i; ++k) acc += k * 2654435761u + i;
+        out[i] = acc + 1;  // +1 so untouched cells are detectable
+        sum.fetch_add(i, std::memory_order_relaxed);
+      },
+      1);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_NE(out[i], 0u) << i;
+}
+
+// Two top-level regions back to back plus a nested one in between must not
+// leak job state across launches (deques drain fully before run returns).
+TEST(Parallel, BackToBackLaunchesAreIsolated) {
+  std::size_t n = 50'000;
+  for (int rep = 0; rep < 20; ++rep) {
+    std::atomic<std::uint64_t> count{0};
+    parallel::parallel_for(0, n, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(count.load(), n) << "rep " << rep;
+  }
 }
 
 TEST(Parallel, BlockedVariantSeesContiguousChunks) {

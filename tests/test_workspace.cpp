@@ -1,0 +1,108 @@
+// Workspace reuse (DESIGN.md S7): the batch pipeline recycles every scratch
+// buffer (BatchWorkspace vectors + the bump arena) across batches, so any
+// read of stale or uninitialized scratch -- an aliasing bug, a missing
+// arena reset, a pack that trusts leftover counts -- makes the trajectory
+// depend on buffer HISTORY rather than on the input. These tests pin the
+// contract: two matcher instances with the same seed fed the same updates
+// produce bit-identical matchings and stats at every batch, even though
+// their workspaces hold different garbage; and repeating the same
+// insert+teardown cycle on one instance (warm workspace) keeps producing
+// the stats of the cycle's structure state, not of the leftover buffers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "dyn/dynamic_matcher.h"
+#include "gen/generators.h"
+#include "gen/workloads.h"
+#include "util/rng.h"
+
+using namespace parmatch;
+using graph::EdgeId;
+
+namespace {
+
+std::uint64_t batch_fingerprint(const dyn::DynamicMatcher& dm) {
+  std::uint64_t h = 0;
+  for (EdgeId e : dm.matching()) h = hash64(h, e);
+  const auto& c = dm.cumulative_stats();
+  h = hash64(h, c.work_units);
+  h = hash64(h, c.samples_created);
+  h = hash64(h, c.settle_rounds);
+  h = hash64(h, c.stolen);
+  h = hash64(h, c.bloated);
+  const auto& b = dm.last_batch_stats();
+  h = hash64(h, b.settle_rounds);
+  h = hash64(h, b.parallel_phases);
+  h = hash64(h, b.measured_depth);
+  return h;
+}
+
+TEST(Workspace, TwoInstancesReplayIdentically) {
+  auto w = gen::churn(gen::erdos_renyi(500, 2'000, 17), 96, 0.5, 23);
+  dyn::Config cfg;
+  cfg.seed = 9;
+  dyn::DynamicMatcher a(cfg), b(cfg);
+  std::vector<EdgeId> live_a(w.master.size()), live_b(w.master.size());
+  std::size_t step_no = 0;
+  for (const auto& step : w.steps) {
+    if (step.is_insert) {
+      graph::EdgeBatch chunk;
+      for (std::size_t i : step.edges) chunk.add(w.master.edge(i));
+      auto ia = a.insert_edges(chunk);
+      auto ib = b.insert_edges(chunk);
+      ASSERT_EQ(ia.size(), ib.size());
+      for (std::size_t j = 0; j < ia.size(); ++j) {
+        ASSERT_EQ(ia[j], ib[j]) << "id divergence at step " << step_no;
+        live_a[step.edges[j]] = ia[j];
+        live_b[step.edges[j]] = ib[j];
+      }
+    } else {
+      std::vector<EdgeId> da, db;
+      for (std::size_t i : step.edges) {
+        da.push_back(live_a[i]);
+        db.push_back(live_b[i]);
+      }
+      a.delete_edges(da);
+      b.delete_edges(db);
+    }
+    ASSERT_EQ(batch_fingerprint(a), batch_fingerprint(b))
+        << "trajectory divergence at step " << step_no;
+    ++step_no;
+  }
+}
+
+// Repeated insert+teardown cycles on ONE instance: from the second cycle on
+// every workspace buffer is warm (arena at its high-water mark, vectors at
+// capacity) while the structure itself returns to empty. A stale-buffer or
+// aliasing bug would surface as a wrong matching, a non-empty pool, or a
+// returned-id span that disagrees with the batch. (Priorities are keyed by
+// the monotone insert epoch, so absolute stats legitimately differ per
+// cycle; bit-level reuse determinism is pinned by the replay test above.)
+TEST(Workspace, WarmInsertTeardownCyclesStayCoherent) {
+  graph::EdgeBatch batch = gen::erdos_renyi(300, 1'200, 31);
+  dyn::Config cfg;
+  cfg.seed = 4;
+  dyn::DynamicMatcher dm(cfg);
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    auto ids = dm.insert_edges(batch);
+    ASSERT_EQ(ids.size(), batch.size()) << "cycle " << cycle;
+    // Every returned id must be live and carry the batch's vertex set.
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      ASSERT_TRUE(dm.pool().live(ids[i]));
+      auto vs = dm.pool().vertices(ids[i]);
+      auto want = batch.edge(i);
+      ASSERT_TRUE(std::equal(vs.begin(), vs.end(), want.begin(), want.end()));
+    }
+    // A maximal matching over a connected-ish ER graph is never empty.
+    EXPECT_GT(dm.matched_count(), 0u) << "cycle " << cycle;
+    std::vector<EdgeId> del(ids.begin(), ids.end());
+    dm.delete_edges(del);
+    ASSERT_EQ(dm.pool().live_count(), 0u) << "cycle " << cycle;
+    ASSERT_EQ(dm.matched_count(), 0u) << "cycle " << cycle;
+  }
+}
+
+}  // namespace
