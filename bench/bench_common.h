@@ -17,6 +17,8 @@
 
 #include "gen/workloads.h"
 #include "graph/edge_batch.h"
+#include "parallel/cost_model.h"
+#include "parallel/parallel_for.h"
 #include "util/timer.h"
 
 namespace parmatch::bench {
@@ -41,6 +43,11 @@ inline std::uint64_t seed_from_args(int argc, char** argv,
 // BENCH_<NAME>.json -- so E1/E3/E4 runs can accumulate a perf trajectory
 // next to the human-readable tables. Cells are emitted as JSON numbers when
 // they parse as one, else as strings.
+//
+// Every record carries the run configuration -- worker count, seed, build
+// type, sanitizer, and execution mode -- so records from different
+// machines, thread counts, or build flavors can be compared without
+// guessing what produced them.
 class JsonSink {
  public:
   static JsonSink& instance() {
@@ -108,6 +115,35 @@ class JsonSink {
     std::fputc('"', f);
   }
 
+  static const char* build_type() {
+#ifdef NDEBUG
+    return "Release";
+#else
+    return "Debug";
+#endif
+  }
+
+  static const char* sanitizer() {
+#if defined(__SANITIZE_ADDRESS__)
+    return "asan";
+#elif defined(__SANITIZE_THREAD__)
+    return "tsan";
+#else
+    return "none";
+#endif
+  }
+
+  static const char* exec_mode_name() {
+    switch (parmatch::parallel::exec_mode()) {
+      case parmatch::parallel::ExecMode::kSequential:
+        return "sequential";
+      case parmatch::parallel::ExecMode::kParallel:
+        return "parallel";
+      default:
+        return "adaptive";
+    }
+  }
+
   void flush() {
     if (!enabled()) return;
     FILE* f = std::fopen(path_.c_str(), "w");
@@ -115,8 +151,13 @@ class JsonSink {
       std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
       return;
     }
-    std::fprintf(f, "{\"bench\":\"%s\",\"seed\":%llu,\"tables\":[",
-                 name_.c_str(), static_cast<unsigned long long>(seed_));
+    std::fprintf(f,
+                 "{\"bench\":\"%s\",\"seed\":%llu,\"threads\":%d,"
+                 "\"build\":\"%s\",\"sanitizer\":\"%s\",\"exec_mode\":\"%s\","
+                 "\"tables\":[",
+                 name_.c_str(), static_cast<unsigned long long>(seed_),
+                 parmatch::parallel::num_workers(), build_type(), sanitizer(),
+                 exec_mode_name());
     for (std::size_t t = 0; t < tables_.size(); ++t) {
       const TableRec& tr = tables_[t];
       std::fprintf(f, "%s{\"headers\":[", t ? "," : "");

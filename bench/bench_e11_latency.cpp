@@ -1,0 +1,143 @@
+// E11 -- the small-batch / low-latency serving regime. The paper's O(1)
+// amortized work bound is batch-size-agnostic, but a fixed parallel tax per
+// batch (fork/join launches, phase barriers, primitive machinery) would make
+// per-update wall-clock at k <= 64 scheduler-bound rather than work-bound.
+// This harness measures per-BATCH latency percentiles over a warm structure
+// for k in {1, 4, 16, 64, 256, 1024}: the adaptive execution engine
+// (parallel/cost_model.h) should hold p50 per-update latency near-flat from
+// k=1024 down to k=1 instead of blowing up as 1/k.
+//
+// Method: prewarm a 32k-vertex / 96k-edge ER structure, then drive mixed
+// churn (p_insert=0.5) in batches of exactly k, timing every batch. The
+// update script is generated obliviously up front, so the timed loop does
+// nothing but batch calls. Reported: p50 / p99 per batch, p50 per update,
+// and the mean. --json records the table for CI's latency-regression gate
+// (the k=16 p50 row is compared against BENCH_baseline.json).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "bench_common.h"
+#include "dyn/dynamic_matcher.h"
+#include "gen/generators.h"
+
+using namespace parmatch;
+using namespace parmatch::bench;
+
+namespace {
+
+constexpr graph::VertexId kN = 32768;
+constexpr std::size_t kM = 3u * kN;
+constexpr std::size_t kPrewarmBatch = 4096;
+
+// Batches measured per k: enough for stable percentiles, capped so the
+// whole sweep stays a few seconds.
+std::size_t batches_for(std::size_t k) {
+  std::size_t b = 65536 / k;
+  return b < 64 ? 64 : (b > 4096 ? 4096 : b);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = bench_init(argc, argv, "e11");
+  // --k N / --k=N restricts the sweep to one batch size (CI's latency
+  // gate runs just the k=16 row).
+  std::size_t only_k = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--k") == 0 && i + 1 < argc)
+      only_k = std::strtoull(argv[i + 1], nullptr, 10);
+    else if (std::strncmp(argv[i], "--k=", 4) == 0)
+      only_k = std::strtoull(argv[i] + 4, nullptr, 10);
+  }
+  std::printf(
+      "E11: per-batch latency vs batch size k on a warm structure\n"
+      "    (n=%u, m=%zu, mixed churn p_insert=0.5). Claim: us/update p50\n"
+      "    stays near-flat as k shrinks 1024x (no fixed per-batch tax).\n\n",
+      kN, kM);
+  Table table({"k", "batches", "p50_us", "p99_us", "p50_us/upd", "mean_us"});
+
+  for (std::size_t k : {std::size_t{1}, std::size_t{4}, std::size_t{16},
+                        std::size_t{64}, std::size_t{256},
+                        std::size_t{1024}}) {
+    if (only_k != 0 && k != only_k) continue;
+    auto master = gen::erdos_renyi(kN, kM, seed + 7);
+    dyn::Config cfg;
+    cfg.seed = seed;
+    dyn::DynamicMatcher dm(cfg);
+
+    // Prewarm: the whole master enters in large batches; ids recorded so
+    // churn deletes can name them.
+    std::vector<graph::EdgeId> live_id(master.size());
+    for (std::size_t base = 0; base < master.size(); base += kPrewarmBatch) {
+      graph::EdgeBatch chunk;
+      std::size_t hi = std::min(master.size(), base + kPrewarmBatch);
+      for (std::size_t i = base; i < hi; ++i) chunk.add(master.edge(i));
+      auto ids = dm.insert_edges(chunk);
+      for (std::size_t i = base; i < hi; ++i) live_id[i] = ids[i - base];
+    }
+
+    // Oblivious churn script over master indices, fixed batch size k.
+    Rng rng(seed * 0x2545F4914F6CDD1Dull + 0xE11);
+    std::vector<std::size_t> live(master.size());
+    for (std::size_t i = 0; i < master.size(); ++i) live[i] = i;
+    std::vector<std::size_t> available;
+    std::size_t nbatches = batches_for(k);
+    struct Step {
+      bool is_insert;
+      std::vector<std::size_t> edges;
+    };
+    std::vector<Step> steps(nbatches);
+    for (Step& s : steps) {
+      bool ins = rng.next_double() < 0.5;
+      if (available.size() < k) ins = false;
+      if (live.size() < k) ins = true;
+      s.is_insert = ins;
+      auto& from = ins ? available : live;
+      auto& to = ins ? live : available;
+      for (std::size_t i = 0; i < k; ++i) {
+        std::size_t j = rng.next_below(from.size());
+        std::swap(from[j], from.back());
+        s.edges.push_back(from.back());
+        from.pop_back();
+      }
+      to.insert(to.end(), s.edges.begin(), s.edges.end());
+    }
+
+    // Timed loop: nothing but batch calls and one clock read per batch.
+    std::vector<double> lat_us(nbatches);
+    graph::EdgeBatch chunk;
+    std::vector<graph::EdgeId> del_ids;
+    for (std::size_t b = 0; b < nbatches; ++b) {
+      const Step& s = steps[b];
+      if (s.is_insert) {
+        chunk.clear();
+        for (std::size_t i : s.edges) chunk.add(master.edge(i));
+        Timer t;
+        auto ids = dm.insert_edges(chunk);
+        lat_us[b] = t.elapsed() * 1e6;
+        for (std::size_t i = 0; i < s.edges.size(); ++i)
+          live_id[s.edges[i]] = ids[i];
+      } else {
+        del_ids.clear();
+        for (std::size_t i : s.edges) del_ids.push_back(live_id[i]);
+        Timer t;
+        dm.delete_edges(del_ids);
+        lat_us[b] = t.elapsed() * 1e6;
+      }
+    }
+
+    std::sort(lat_us.begin(), lat_us.end());
+    double p50 = lat_us[nbatches / 2];
+    double p99 = lat_us[(nbatches * 99) / 100];
+    double mean = 0;
+    for (double v : lat_us) mean += v;
+    mean /= static_cast<double>(nbatches);
+    table.row({Table::num(k), Table::num(nbatches), Table::num(p50),
+               Table::num(p99), Table::num(p50 / static_cast<double>(k)),
+               Table::num(mean)});
+  }
+  return 0;
+}

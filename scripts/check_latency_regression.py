@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""CI latency-regression gate for the small-batch serving regime (E11).
+
+Compares a fresh `bench_e11_latency --json` run against the committed
+`BENCH_baseline.json` e11 entry and fails when the median (p50) per-batch
+latency at the probed batch size regressed by more than the allowed factor.
+The factor (default 1.5x) absorbs machine variance between the recording
+container and CI runners; a genuine reintroduction of the per-batch
+scheduler tax (the >2x cliff this gate exists for) clears it easily.
+
+Usage:
+  check_latency_regression.py NEW_JSON BASELINE_JSON [--k 16] [--factor 1.5]
+"""
+import argparse
+import json
+import sys
+
+
+def p50_at_k(doc: dict, k: int) -> float:
+    for table in doc["tables"]:
+        headers = table["headers"]
+        if "k" not in headers or "p50_us" not in headers:
+            continue
+        ki, pi = headers.index("k"), headers.index("p50_us")
+        for row in table["rows"]:
+            if int(row[ki]) == k:
+                return float(row[pi])
+    raise SystemExit(f"error: no k={k} row in the e11 table")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("new_json")
+    ap.add_argument("baseline_json")
+    ap.add_argument("--k", type=int, default=16)
+    ap.add_argument("--factor", type=float, default=1.5)
+    args = ap.parse_args()
+
+    with open(args.new_json) as f:
+        new_doc = json.load(f)
+    with open(args.baseline_json) as f:
+        baseline = json.load(f)["benches"]["e11"]
+
+    new_p50 = p50_at_k(new_doc, args.k)
+    base_p50 = p50_at_k(baseline, args.k)
+    ratio = new_p50 / base_p50
+    print(
+        f"e11 k={args.k}: fresh p50 {new_p50:.3f} us vs committed baseline "
+        f"{base_p50:.3f} us -> x{ratio:.2f} (limit x{args.factor})"
+    )
+    if ratio > args.factor:
+        sys.exit(
+            f"FAIL: small-batch latency regressed x{ratio:.2f} > "
+            f"x{args.factor} against BENCH_baseline.json"
+        )
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -50,29 +50,53 @@
 //   live_deg decrements -> batch slot free -> settle.
 //
 //   settle round: all pending vertices compact + reservoir-sample
-//   concurrently, sampled edges dedup and redraw priorities, one greedy
-//   claim round; losers resample next round.
+//   concurrently (the survivor/draw pack is fused into the sampling
+//   phase), sampled edges dedup and redraw priorities, one greedy claim
+//   round; losers resample next round.
+//
+// Adaptive execution (DESIGN.md S11): that phase plan is a *logical*
+// schedule. Per phase, parallel/cost_model.h decides whether the
+// work-stealing path can amortize its launch + barrier latency; below the
+// calibrated cutover the phase runs inline with plain memory ops. For a
+// whole batch below the cutover, insert additionally takes a fused
+// sequential fast path -- direct endpoint grouping and classification in
+// one pass over the workspace, no semisort/scan/pack machinery -- and
+// delete takes the analogous direct-loop path. Both fast paths replay the
+// SAME logical phases with the SAME keyed RNG draws and charge the SAME
+// model depth, so the trajectory (matching, stats, depth counters) is
+// bit-identical across PARMATCH_EXEC_MODE=sequential/parallel/adaptive and
+// any thread count (tests/test_exec_modes.cpp,
+// tests/test_thread_determinism.cpp).
 //
 // All randomness is keyed, not sequenced: priority and reservoir draws come
 // from parallel::RngStream draws (util/rng.h 3-arg hash64) keyed by
 // (epoch, position) / (vertex, round), so the structure's entire trajectory
-// -- matching, stats, work counters -- is bit-identical at any worker count
-// (tests/test_thread_determinism.cpp). Shared counters (growth bumps,
-// live_deg decrements, work units) use atomic fetch-add; everything else is
-// per-vertex or per-edge ownership.
+// -- matching, stats, work counters -- is bit-identical at any worker
+// count. Shared counters (growth bumps, live_deg decrements, work units)
+// use atomic fetch-add on the parallel strategy and plain memory on the
+// inline one; everything else is per-vertex or per-edge ownership.
+//
+// Hot-state packing (DESIGN.md S11): the per-vertex fields the claim and
+// settle loops touch (taken_by / min_edge / live_deg, plus the embedded
+// incidence-chain header) live in one 32-byte matching::VertexHot record,
+// and the per-edge fields (bloat threshold / growth / matched-list
+// position) in one 16-byte EdgeHot record, so each batch-random vertex or
+// match costs one cache line, prefetched kPrefetchAhead iterations early
+// in the scanning loops.
 //
 // Allocation discipline (DESIGN.md S7): every transient buffer comes from
 // the per-matcher BatchWorkspace (dyn/workspace.h) -- named vectors that
 // keep their capacity plus a bump ScratchArena reset at batch/settle-round
-// boundaries -- and every hot-path sort/dedup is prims::radix_sort plus a
-// parallel dedup_sorted pack, so a steady-state batch touches the heap
-// zero times (tests/test_alloc_free.cpp).
+// boundaries -- and every hot-path sort/dedup is prims::radix_sort (with
+// its small-n insertion fallback) plus a dedup pack, so a steady-state
+// batch touches the heap zero times (tests/test_alloc_free.cpp).
 //
 // Complexity contract per batch of k updates: expected O(k * r^3) amortized
 // work, O(log^3 m) depth whp (settle rounds x greedy claim rounds x O(log)
 // primitives); lazy incidence compaction charges each dead entry once to
 // the deletion that killed it. BatchStats::measured_depth instruments the
-// depth claim directly: every phase charges parallel::model_depth(n).
+// depth claim directly: every logical phase charges
+// parallel::model_depth(n) whether it ran forked or inline.
 #pragma once
 
 #include <algorithm>
@@ -93,12 +117,15 @@
 #include "dyn/stats.h"
 #include "dyn/workspace.h"
 #include "matching/parallel_greedy.h"
+#include "matching/vertex_hot.h"
+#include "parallel/cost_model.h"
 #include "parallel/parallel_for.h"
 #include "parallel/rng_stream.h"
 #include "prims/filter.h"
 #include "prims/group_by.h"
 #include "prims/radix_sort.h"
 #include "prims/reduce.h"
+#include "util/prefetch.h"
 #include "util/rng.h"
 
 namespace parmatch::dyn {
@@ -111,6 +138,18 @@ struct Config {
                                  // the level-quantized settle size
   bool light_only = false;       // footnote-8 ablation: no levels/resampling
 };
+
+// Packed per-edge hot state of a *matched* edge: the bloat machinery
+// (threshold already encodes the level-quantized settle size, so the raw
+// size needs no slot of its own) plus the edge's position in the matched
+// list -- so the growth bump, the commit, and the unmatch each touch ONE
+// cache line instead of two or three vector lookups megabytes apart.
+struct EdgeHot {
+  std::uint64_t threshold = 0;    // bloat threshold for the current match
+  std::uint32_t growth = 0;       // neighborhood inserts since settle
+  std::uint32_t matched_pos = 0;  // index in matched_edges_ while matched
+};
+static_assert(sizeof(EdgeHot) == 16);
 
 class DynamicMatcher {
   using EdgeId = graph::EdgeId;
@@ -139,45 +178,80 @@ class DynamicMatcher {
     stats_.work_units += batch.total_cardinality();
     if (k == 0) return ids;
 
+    // Cutover: below the calibrated phase crossover the whole batch runs
+    // the fused direct-loop pipeline (same logical phases, same charges).
+    const bool fused = parallel::run_phase_seq(k);
+    if (fused) ++stats_.fused_batches;
+
     // P1: every inserted edge draws its sample, keyed (batch epoch, slot).
+    // Recycled ids land at random positions in pri_; the fused path sweeps
+    // all the lines first (they are about to be written back-to-back), the
+    // forked path prefetches ahead inside each chunk.
     charge_phase(k);
-    parallel::parallel_for(
-        0, k, [&](std::size_t i) { pri_[ids[i]] = insert_pri_.word(epoch, i); });
+    if (fused) {
+      std::size_t sweep = k <= kSweepSmall ? k : kPrefetchAhead;
+      for (std::size_t i = 0; i < sweep; ++i) prefetch_write(&pri_[ids[i]]);
+      for (std::size_t i = 0; i < k; ++i) {
+        if (k > kSweepSmall && i + kPrefetchAhead < k)
+          prefetch_write(&pri_[ids[i + kPrefetchAhead]]);
+        pri_[ids[i]] = insert_pri_.word(epoch, i);
+      }
+    } else {
+      parallel::parallel_for_blocked(0, k, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          if (i + kPrefetchAhead < e)
+            prefetch_write(&pri_[ids[i + kPrefetchAhead]]);
+          pri_[ids[i]] = insert_pri_.word(epoch, i);
+        }
+      });
+    }
     stats_.samples_created += k;
 
     // P2: adjacency -- group the flat (endpoint, edge-ref) incidence of the
     // batch by endpoint; each vertex-group is then applied by one owner, so
     // appends and live_deg bumps race-free; growth bumps target per-edge
-    // counters shared between groups and use fetch-add.
-    std::span<const EdgeId> bloated = apply_adjacency(batch, ids);
+    // counters shared between groups (fetch-add on the forked strategy).
+    std::span<const EdgeId> bloated =
+        fused ? apply_adjacency_fused(batch, ids) : apply_adjacency(batch, ids);
 
     // P3: classify against the pre-batch matching. An edge is a greedy
     // candidate if every endpoint is free, a steal candidate if some
-    // endpoint is taken and its sample beats every match it touches. One
-    // endpoint scan per edge (the classification mark), then two cheap
-    // packs on the marks.
+    // endpoint is taken and its sample beats every match it touches. Fused:
+    // one classify-and-split pass. Forked: one mark pass plus a dual pack
+    // that emits both sets with a single count + scatter.
     charge_phases(3, k);
-    auto cls = ws_.arena.alloc<std::uint8_t>(k);
-    parallel::parallel_for(0, k, [&](std::size_t i) {
-      EdgeId e = ids[i];
-      bool any_taken = false, steals_all = true;
-      for (VertexId v : pool_.vertices(e)) {
-        EdgeId t = taken_by_[v];
-        if (t == kInvalid) continue;
-        any_taken = true;
-        if (!matching::detail::beats(pri_[e], e, pri_[t], t)) {
-          steals_all = false;
-          break;
-        }
+    std::span<const EdgeId> candidates, stealers;
+    if (fused) {
+      auto cand = ws_.arena.alloc<EdgeId>(k);
+      auto steal = ws_.arena.alloc<EdgeId>(k);
+      std::size_t nc = 0, nst = 0;
+      // The vertex records AND the matched-edge priority lines are warm:
+      // P2's group apply prefetched pri_[taken_by] for every touched
+      // endpoint (apply_group), so classify runs against resident lines.
+      for (std::size_t i = 0; i < k; ++i) {
+        std::uint8_t c = classify(ids[i]);
+        if (c == 1)
+          cand[nc++] = ids[i];
+        else if (c == 2)
+          steal[nst++] = ids[i];
       }
-      cls[i] = !any_taken ? 1 : (steals_all ? 2 : 0);
-    });
-    auto candidates = prims::pack_index<EdgeId>(
-        k, [&](std::size_t i) { return cls[i] == 1; },
-        [&](std::size_t i) { return ids[i]; }, ws_.arena);
-    auto stealers = prims::pack_index<EdgeId>(
-        k, [&](std::size_t i) { return cls[i] == 2; },
-        [&](std::size_t i) { return ids[i]; }, ws_.arena);
+      candidates = {cand.data(), nc};
+      stealers = {steal.data(), nst};
+    } else {
+      auto cls = ws_.arena.alloc<std::uint8_t>(k);
+      parallel::parallel_for_blocked(0, k, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          if (i + kPrefetchAhead < e)
+            for (VertexId v : pool_.vertices(ids[i + kPrefetchAhead]))
+              prefetch_read(&vh_[v]);
+          cls[i] = classify(ids[i]);
+        }
+      });
+      auto split = prims::pack_index_split<EdgeId>(
+          k, cls, [&](std::size_t i) { return ids[i]; }, ws_.arena);
+      candidates = split.first;
+      stealers = split.second;
+    }
 
     // P4: steal claim round -- winners displace their victims.
     resolve_steals(stealers);
@@ -187,7 +261,7 @@ class DynamicMatcher {
     // over the grown neighborhood, so the freed vertices go through
     // settle() below.
     for (EdgeId b : bloated) {
-      if (taken_by_[pool_.vertices(b)[0]] != b) continue;  // displaced
+      if (vh_[pool_.vertices(b)[0]].taken_by != b) continue;  // displaced
       ++stats_.bloated;
       unmatch(b);
     }
@@ -207,53 +281,100 @@ class DynamicMatcher {
   void delete_edges(std::span<const EdgeId> ids) {
     begin_batch();
     stats_.deletes += ids.size();
+    const bool fused = parallel::run_phase_seq(ids.size());
+    if (fused && !ids.empty()) ++stats_.fused_batches;
     charge_phase(ids.size());
-    auto lv = prims::filter(
-        ids, [&](EdgeId id) { return pool_.live(id); }, ws_.arena);
+    std::span<EdgeId> lv;
+    if (fused) {
+      // Sweep the batch's pool records into cache: every later phase of
+      // the delete path reads them. Full sweep for small batches, rolling
+      // window above (an unbounded sweep would evict its own lines).
+      std::size_t sweep = ids.size() <= kSweepSmall ? ids.size() : kPrefetchAhead;
+      for (std::size_t i = 0; i < sweep; ++i) pool_.prefetch_record(ids[i]);
+      auto buf = ws_.arena.alloc<EdgeId>(ids.size());
+      std::size_t n = 0;
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (ids.size() > kSweepSmall && i + kPrefetchAhead < ids.size())
+          pool_.prefetch_record(ids[i + kPrefetchAhead]);
+        if (pool_.live(ids[i])) buf[n++] = ids[i];
+      }
+      lv = buf.first(n);
+    } else {
+      lv = prims::filter(
+          ids, [&](EdgeId id) { return pool_.live(id); }, ws_.arena);
+    }
     // The same id may legally appear more than once in a batch; deletion
-    // order is immaterial, so dedup by radix sort + parallel pack.
+    // order is immaterial, so dedup after an ascending sort.
     charge_phases(kRadixPhases + 1, lv.size());
     prims::radix_sort(lv, [](EdgeId e) { return std::uint64_t(e); },
                       id_bits(), ws_.arena);
-    lv = prims::dedup_sorted(std::span<const EdgeId>(lv), ws_.arena);
+    if (fused) {
+      std::size_t m = 0;
+      for (std::size_t i = 0; i < lv.size(); ++i)
+        if (i == 0 || lv[i] != lv[i - 1]) lv[m++] = lv[i];
+      lv = lv.first(m);
+    } else {
+      lv = prims::dedup_sorted(std::span<const EdgeId>(lv), ws_.arena);
+    }
     if (lv.empty()) {
       finish_batch();
       return;
     }
 
-    // Blocked map + reduce: a single shared atomic would serialize the
-    // phase on one cache line.
-    auto ranks = ws_.arena.alloc<std::size_t>(lv.size());
-    charge_phases(2, lv.size());
-    parallel::parallel_for(0, lv.size(), [&](std::size_t i) {
-      ranks[i] = pool_.rank(lv[i]);
-    });
-    stats_.work_units +=
-        prims::reduce(std::span<const std::size_t>(ranks), ws_.arena);
-
-    // Deleted matches free their vertices (matched edges are disjoint, so
-    // the victim set needs no dedup).
-    charge_phase(lv.size());
-    auto victims = prims::filter(
-        std::span<const EdgeId>(lv),
-        [&](EdgeId e) { return taken_by_[pool_.vertices(e)[0]] == e; },
-        ws_.arena);
-    for (EdgeId e : victims) unmatch(e);
-
-    // live_deg decrements: an endpoint may lose several edges of this
-    // batch, hence fetch-sub rather than per-vertex ownership (plain when
-    // the pool is sequential).
-    charge_phase(lv.size());
-    const bool seq = parallel::sequential_mode();
-    parallel::parallel_for(0, lv.size(), [&](std::size_t i) {
-      for (VertexId v : pool_.vertices(lv[i])) {
-        if (seq)
-          --live_deg_[v];
-        else
-          std::atomic_ref<std::uint32_t>(live_deg_[v])
-              .fetch_sub(1, std::memory_order_relaxed);
+    // Rank sum (work accounting), victim scan, and live_deg decrements are
+    // three logical phases; the fused strategy executes them as ONE pass
+    // over the batch (their fields are disjoint, matched edges are
+    // vertex-disjoint, and the victim test reads only taken_by, which the
+    // pass never writes -- so any interleaving computes the same state).
+    charge_phases(2, lv.size());  // rank map + reduce
+    charge_phase(lv.size());      // victim scan
+    std::span<const EdgeId> victims;
+    if (fused) {
+      auto buf = ws_.arena.alloc<EdgeId>(lv.size());
+      std::size_t n = 0, sum = 0;
+      std::size_t sweep = lv.size() <= kSweepSmall ? lv.size() : kPrefetchAhead;
+      for (std::size_t i = 0; i < sweep; ++i)
+        for (VertexId v : pool_.vertices(lv[i])) prefetch_write(&vh_[v]);
+      for (std::size_t i = 0; i < lv.size(); ++i) {
+        if (lv.size() > kSweepSmall && i + kPrefetchAhead < lv.size())
+          for (VertexId v : pool_.vertices(lv[i + kPrefetchAhead]))
+            prefetch_write(&vh_[v]);
+        EdgeId e = lv[i];
+        auto vs = pool_.vertices(e);
+        sum += vs.size();
+        bool is_victim = vh_[vs[0]].taken_by == e;
+        for (VertexId v : vs) --vh_[v].live_deg;
+        if (is_victim) buf[n++] = e;
       }
-    });
+      stats_.work_units += sum;
+      victims = {buf.data(), n};
+      charge_phase(lv.size());  // live_deg decrements (fused above)
+      unmatch_all(victims);
+    } else {
+      // Blocked map + reduce: a single shared atomic would serialize the
+      // phase on one cache line.
+      auto ranks = ws_.arena.alloc<std::size_t>(lv.size());
+      parallel::parallel_for(0, lv.size(), [&](std::size_t i) {
+        ranks[i] = pool_.rank(lv[i]);
+      });
+      stats_.work_units +=
+          prims::reduce(std::span<const std::size_t>(ranks), ws_.arena);
+      // Deleted matches free their vertices (matched edges are disjoint,
+      // so the victim set needs no dedup).
+      victims = prims::filter(
+          std::span<const EdgeId>(lv),
+          [&](EdgeId e) { return vh_[pool_.vertices(e)[0]].taken_by == e; },
+          ws_.arena);
+      unmatch_all(victims);
+      // live_deg decrements: an endpoint may lose several edges of this
+      // batch, hence fetch-sub rather than per-vertex ownership.
+      charge_phase(lv.size());
+      parallel::parallel_for(0, lv.size(), [&](std::size_t i) {
+        for (VertexId v : pool_.vertices(lv[i]))
+          std::atomic_ref<std::uint32_t>(vh_[v].live_deg)
+              .fetch_sub(1, std::memory_order_relaxed);
+      });
+    }
     charge_phase(lv.size());
     pool_.remove_edges(lv);
     settle();
@@ -270,7 +391,7 @@ class DynamicMatcher {
   }
 
   bool is_matched(EdgeId id) const {
-    return pool_.live(id) && taken_by_[pool_.vertices(id)[0]] == id;
+    return pool_.live(id) && vh_[pool_.vertices(id)[0]].taken_by == id;
   }
 
   std::size_t matched_count() const { return matched_edges_.size(); }
@@ -302,31 +423,31 @@ class DynamicMatcher {
     std::size_t ib = pool_.id_bound();
     if (pri_.size() < ib) {
       pri_.resize(ib, 0);
-      growth_.resize(ib, 0);
-      threshold_.resize(ib, 0);
-      settle_size_.resize(ib, 0);
-      matched_pos_.resize(ib, 0);
+      ehot_.resize(ib);
     }
     std::size_t vb = pool_.vertex_bound();
-    if (taken_by_.size() < vb) {
-      taken_by_.resize(vb, kInvalid);
-      min_edge_.resize(vb, kInvalid);
-      live_deg_.resize(vb, 0);
-      adj_.ensure_vertex_bound(vb);
-    }
+    if (vh_.size() < vb) vh_.resize(vb);
   }
 
   // ---- depth instrumentation ------------------------------------------
 
-  // Every data-parallel phase charges its binary-forking span; the sum is
-  // the batch's measured depth (dyn/stats.h). Multi-pass primitives (radix
-  // sort, scan, semisort) charge one phase per internal parallel loop.
+  // Every logical data-parallel phase charges its binary-forking span; the
+  // sum is the batch's measured depth (dyn/stats.h). Multi-pass primitives
+  // (radix sort, scan, semisort) charge one phase per internal parallel
+  // loop. Charges are independent of the execution strategy: a phase run
+  // inline by the cost model charges the same span it would have forked
+  // with, so depth stays a schedule property, not a clock artifact.
   void charge_phase(std::size_t n) { charge_phases(1, n); }
 
   void charge_phases(std::size_t count, std::size_t n) {
     batch_.parallel_phases += count;
     batch_.measured_depth += count * parallel::model_depth(n);
   }
+
+  // Sets at most this large get a full upfront prefetch sweep instead of a
+  // rolling lookahead window (which never fires when the set is shorter
+  // than the window) -- the batched-miss pattern of DESIGN.md S11.
+  static constexpr std::size_t kSweepSmall = 32;
 
   // A full-width id radix sort is <= ceil(32/8) passes of histogram +
   // scatter; the model charge stays at the 32-bit worst case even though
@@ -348,15 +469,13 @@ class DynamicMatcher {
 
   // Per-edge/per-vertex state of a new match. Safe to run in parallel over
   // a vertex-disjoint winner set; the matched-edge set itself is appended
-  // sequentially by the caller (matched_add).
+  // sequentially by the caller (commit_matches).
   void commit_arrays(EdgeId e) {
     std::size_t nbhd = 0;
     for (VertexId v : pool_.vertices(e)) {
-      taken_by_[v] = e;
-      nbhd += live_deg_[v];
+      vh_[v].taken_by = e;
+      nbhd += vh_[v].live_deg;
     }
-    growth_[e] = 0;
-    settle_size_[e] = static_cast<std::uint32_t>(nbhd);
     // Level quantization: remember the settle size only up to the gap.
     // Saturate instead of wrapping: a pathological neighborhood (or a huge
     // heavy_factor) must yield "never bloats", not a tiny threshold.
@@ -372,43 +491,118 @@ class DynamicMatcher {
       cap *= gap;
     }
     std::uint64_t hf = cfg_.heavy_factor;
-    threshold_[e] =
+    EdgeHot& h = ehot_[e];
+    h.threshold =
         (saturated || (hf != 0 && cap > kMax / hf)) ? kMax : hf * cap;
+    h.growth = 0;
   }
 
   void matched_add(EdgeId e) {
-    matched_pos_[e] = static_cast<std::uint32_t>(matched_edges_.size());
+    ehot_[e].matched_pos = static_cast<std::uint32_t>(matched_edges_.size());
     matched_edges_.push_back(e);
+  }
+
+  // Applies a vertex-disjoint winner set: per-edge/per-vertex arrays in the
+  // (possibly forked) phase, then the matched-edge list append in winner
+  // order. The single application loop shared by the steal and greedy
+  // paths.
+  void commit_matches(std::span<const EdgeId> winners) {
+    charge_phase(winners.size());
+    if (winners.size() <= kSweepSmall && parallel::run_phase_seq(winners.size())) {
+      for (EdgeId f : winners) {
+        prefetch_write(&ehot_[f]);
+        for (VertexId v : pool_.vertices(f)) prefetch_write(&vh_[v]);
+      }
+      for (EdgeId e : winners) commit_arrays(e);
+    } else {
+      parallel::parallel_for_blocked(
+          0, winners.size(), [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+              if (i + kPrefetchAhead < e) {
+                EdgeId f = winners[i + kPrefetchAhead];
+                prefetch_write(&ehot_[f]);
+                for (VertexId v : pool_.vertices(f)) prefetch_write(&vh_[v]);
+              }
+              commit_arrays(winners[i]);
+            }
+          });
+    }
+    for (EdgeId e : winners) matched_add(e);
   }
 
   // Frees e's vertices into the batch's pending-settle set (ws_.freed).
   void unmatch(EdgeId e) {
     for (VertexId v : pool_.vertices(e)) {
-      if (taken_by_[v] == e) {
-        taken_by_[v] = kInvalid;
+      if (vh_[v].taken_by == e) {
+        vh_[v].taken_by = kInvalid;
         ws_.freed.push_back(v);
       }
     }
-    std::uint32_t idx = matched_pos_[e];
+    std::uint32_t idx = ehot_[e].matched_pos;
     EdgeId last = matched_edges_.back();
     matched_edges_[idx] = last;
-    matched_pos_[last] = idx;
+    ehot_[last].matched_pos = idx;
     matched_edges_.pop_back();
   }
 
   bool all_endpoints_free(EdgeId e) const {
     for (VertexId v : pool_.vertices(e))
-      if (taken_by_[v] != kInvalid) return false;
+      if (vh_[v].taken_by != kInvalid) return false;
     return true;
   }
 
   // ---- insert phases ---------------------------------------------------
 
-  // P2 of insert_edges: semisort the batch incidence by endpoint and let
-  // one owner per vertex-group apply appends and live_deg; growth bumps
-  // fetch-add shared per-edge counters and report the (unique) group that
-  // observed the bloat-threshold crossing. Returns the bloated edges in
-  // ascending id order, so downstream processing is schedule-independent.
+  // The per-vertex-group body of insert P2, shared by both execution
+  // strategies: amortized owner-side compaction, adjacency appends,
+  // live_deg bump, and the bloat-threshold crossing check. `ref_at(j)` is
+  // the j-th packed edge-ref of this group; `comp_scanned` reports the
+  // compaction scan length; `bloat_out` the (unique) bloated match this
+  // group observed crossing, or kInvalid.
+  template <typename RefAt>
+  void apply_group(VertexId v, std::uint32_t cnt, RefAt&& ref_at, bool seq,
+                   std::size_t& comp_scanned, EdgeId& bloat_out) {
+    // Amortized owner-side compaction: valid entries number exactly
+    // live_deg, so a chain more than twice that (plus slack) is mostly
+    // stale refs -- drop them now, charged to the appends that grew the
+    // chain. This bounds every chain (and the arena) to O(live incident
+    // edges), which is what keeps steady-state batches allocation-free;
+    // the trigger depends only on schedule-independent lengths, so the
+    // trajectory stays deterministic (DESIGN.md S2). Settle's lazy
+    // compaction still handles the vertices this owner never touches.
+    comp_scanned = 0;
+    std::size_t len = vh_[v].adj.len;
+    if (len >= 16 + 2 * (static_cast<std::size_t>(vh_[v].live_deg) + cnt))
+      comp_scanned = adj_.compact_visit(
+          vh_[v].adj, [&](std::uint64_t ref) { return pool_.ref_valid(ref); });
+    for (std::uint32_t j = 0; j < cnt; ++j) adj_.append(vh_[v].adj, ref_at(j));
+    vh_[v].live_deg += cnt;
+    bloat_out = kInvalid;
+    EdgeId t = vh_[v].taken_by;
+    if (t == kInvalid) return;
+    // P3's classify will compare against this match's priority; pull the
+    // line now, while P2 still has the record in hand.
+    prefetch_read(&pri_[t]);
+    if (cfg_.light_only) return;
+    // The neighborhood of match t grew; check the level bound. Exactly
+    // one fetch-add interval straddles the threshold, so each bloated
+    // edge is reported by exactly one group (plain add when inline).
+    EdgeHot& h = ehot_[t];
+    std::uint64_t before;
+    if (seq) {
+      before = h.growth;
+      h.growth += cnt;
+    } else {
+      before = std::atomic_ref<std::uint32_t>(h.growth)
+                   .fetch_add(cnt, std::memory_order_relaxed);
+    }
+    if (before <= h.threshold && before + cnt > h.threshold) bloat_out = t;
+  }
+
+  // P2 of insert_edges, forked strategy: semisort the batch incidence by
+  // endpoint and let one owner per vertex-group apply the shared group
+  // body. Returns the bloated edges in ascending id order, so downstream
+  // processing is schedule-independent.
   std::span<const EdgeId> apply_adjacency(const graph::EdgeBatch& batch,
                                           std::span<const EdgeId> ids) {
     std::size_t k = ids.size();
@@ -444,42 +638,13 @@ class DynamicMatcher {
     auto bloat_mark = ws_.arena.alloc<EdgeId>(ng);
     auto comp_scan = ws_.arena.alloc<std::size_t>(ng);
     charge_phases(2, ng);  // group apply + compaction-scan reduce
-    const bool seq = parallel::sequential_mode();
+    const bool seq = parallel::run_phase_seq(ng);
     parallel::parallel_for(0, ng, [&](std::size_t g) {
-      VertexId v = groups.keys[g];
       auto vals = groups.group(g);
-      std::uint32_t cnt = static_cast<std::uint32_t>(vals.size());
-      // Amortized owner-side compaction: valid entries number exactly
-      // live_deg, so a chain more than twice that (plus slack) is mostly
-      // stale refs -- drop them now, charged to the appends that grew the
-      // chain. This bounds every chain (and the arena) to O(live incident
-      // edges), which is what keeps steady-state batches allocation-free;
-      // the trigger depends only on schedule-independent lengths, so the
-      // trajectory stays deterministic (DESIGN.md S2). Settle's lazy
-      // compaction still handles the vertices this owner never touches.
-      comp_scan[g] = 0;
-      std::size_t len = adj_.length(v);
-      if (len >= 16 + 2 * (static_cast<std::size_t>(live_deg_[v]) + cnt))
-        comp_scan[g] = adj_.compact_visit(
-            v, [&](std::uint64_t ref) { return pool_.ref_valid(ref); });
-      for (std::uint64_t ref : vals) adj_.append(v, ref);
-      live_deg_[v] += cnt;
-      bloat_mark[g] = kInvalid;
-      EdgeId t = taken_by_[v];
-      if (t == kInvalid || cfg_.light_only) return;
-      // The neighborhood of match t grew; check the level bound. Exactly
-      // one fetch-add interval straddles the threshold, so each bloated
-      // edge is reported by exactly one group (plain add when sequential).
-      std::uint64_t before;
-      if (seq) {
-        before = growth_[t];
-        growth_[t] += cnt;
-      } else {
-        before = std::atomic_ref<std::uint32_t>(growth_[t])
-                     .fetch_add(cnt, std::memory_order_relaxed);
-      }
-      if (before <= threshold_[t] && before + cnt > threshold_[t])
-        bloat_mark[g] = t;
+      apply_group(
+          groups.keys[g], static_cast<std::uint32_t>(vals.size()),
+          [&](std::size_t j) { return vals[j]; }, seq, comp_scan[g],
+          bloat_mark[g]);
     });
     stats_.work_units +=
         prims::reduce(std::span<const std::size_t>(comp_scan), ws_.arena);
@@ -493,6 +658,134 @@ class DynamicMatcher {
     return bloated;
   }
 
+  // P2 of insert_edges, fused strategy: the same logical phases as
+  // apply_adjacency -- identical charges, identical resulting state --
+  // executed as direct loops, no scan/semisort staging/pack machinery.
+  // Group ORDER is free: appends, live_deg, and compaction triggers are
+  // per-vertex; growth is an order-independent sum whose threshold
+  // crossing fires exactly once in any accumulation order; and the bloated
+  // set is sorted by id before use. (The forked path already exploits
+  // this: its groups are applied in whatever order the scheduler picks.)
+  // So small batches group by first-occurrence bucketing -- two linear
+  // passes, no sort at all -- and only large fused batches (forced
+  // sequential mode) fall back to the stable pair sort.
+  std::span<const EdgeId> apply_adjacency_fused(const graph::EdgeBatch& batch,
+                                                std::span<const EdgeId> ids) {
+    std::size_t k = ids.size();
+    std::size_t total = batch.total_cardinality();
+    charge_phase(k);      // (offsets fill)
+    charge_phases(2, k);  // (offsets scan)
+    charge_phase(total);  // flat (endpoint, ref) fill
+    struct Pair {
+      VertexId v;
+      std::uint64_t ref;
+    };
+    auto pairs = ws_.arena.alloc<Pair>(total);
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::uint64_t ref = pool_.packed_ref(ids[i]);
+      for (VertexId v : batch.edge(i)) {
+        // Batched-miss sweep, issued before the grouping below so the
+        // vertex records (which embed the adjacency headers) land while
+        // it runs.
+        prefetch_write(&vh_[v]);
+        pairs[idx++] = Pair{v, ref};
+      }
+    }
+    charge_phases(group_by_phases(pool_.vertex_bound()), total);
+    // Group starts[g] .. starts[g+1] delimit each group's refs in `refs`.
+    auto gverts = ws_.arena.alloc<VertexId>(total);
+    auto starts = ws_.arena.alloc<std::uint32_t>(total + 1);
+    auto refs = ws_.arena.alloc<std::uint64_t>(total);
+    std::size_t ng = 0;
+    if (total <= 64) {
+      // First-occurrence bucketing: gather distinct vertices and counts
+      // with linear probes (total is tiny), then segment the refs.
+      auto cnt = ws_.arena.alloc<std::uint32_t>(total);
+      auto slot_of = ws_.arena.alloc<std::uint32_t>(total);
+      for (std::size_t i = 0; i < total; ++i) {
+        VertexId v = pairs[i].v;
+        std::size_t g = 0;
+        while (g < ng && gverts[g] != v) ++g;
+        if (g == ng) {
+          gverts[ng] = v;
+          cnt[ng++] = 0;
+        }
+        slot_of[i] = static_cast<std::uint32_t>(g);
+        ++cnt[g];
+      }
+      std::uint32_t off = 0;
+      for (std::size_t g = 0; g < ng; ++g) {
+        starts[g] = off;
+        off += cnt[g];
+        cnt[g] = starts[g];  // reuse as the group's write cursor
+      }
+      starts[ng] = off;
+      for (std::size_t i = 0; i < total; ++i)
+        refs[cnt[slot_of[i]]++] = pairs[i].ref;
+    } else {
+      prims::radix_sort(
+          std::span<Pair>(pairs),
+          [](const Pair& p) { return static_cast<std::uint64_t>(p.v); },
+          std::bit_width(static_cast<std::uint64_t>(pool_.vertex_bound()) | 1),
+          ws_.arena);
+      for (std::size_t i = 0; i < total; ++i) {
+        if (i == 0 || pairs[i].v != pairs[i - 1].v) {
+          gverts[ng] = pairs[i].v;
+          starts[ng++] = static_cast<std::uint32_t>(i);
+        }
+        refs[i] = pairs[i].ref;
+      }
+      starts[ng] = static_cast<std::uint32_t>(total);
+    }
+    adj_.reserve_for(total, ng);
+    charge_phases(2, ng);
+    auto bloat = ws_.arena.alloc<EdgeId>(ng);
+    std::size_t nb = 0, comp_total = 0;
+    for (std::size_t g = 0; g < ng; ++g) {
+      // The append cursor line needs the (now resident) header to locate;
+      // the bloat counter of the next groups' matches needs their
+      // (resident) vertex records.
+      if (g + 4 < ng) adj_.prefetch_append_target(vh_[gverts[g + 4]].adj);
+      if (g + 3 < ng) {
+        EdgeId t = vh_[gverts[g + 3]].taken_by;
+        if (t != kInvalid) prefetch_write(&ehot_[t]);
+      }
+      std::size_t s = starts[g];
+      std::size_t comp = 0;
+      EdgeId bm = kInvalid;
+      apply_group(
+          gverts[g], starts[g + 1] - starts[g],
+          [&](std::size_t j) { return refs[s + j]; }, true, comp, bm);
+      comp_total += comp;
+      if (bm != kInvalid) bloat[nb++] = bm;
+    }
+    stats_.work_units += comp_total;
+    charge_phase(ng);
+    charge_phases(kRadixPhases, nb);
+    auto bl = std::span<EdgeId>(bloat.data(), nb);
+    prims::radix_sort(bl, [](EdgeId e) { return std::uint64_t(e); },
+                      id_bits(), ws_.arena);
+    return bl;
+  }
+
+  // P3 body: 0 = blocked, 1 = all-free greedy candidate, 2 = steal
+  // candidate. Reads only pre-batch matching state, so both strategies
+  // agree regardless of evaluation order.
+  std::uint8_t classify(EdgeId e) const {
+    bool any_taken = false, steals_all = true;
+    for (VertexId v : pool_.vertices(e)) {
+      EdgeId t = vh_[v].taken_by;
+      if (t == kInvalid) continue;
+      any_taken = true;
+      if (!matching::detail::beats(pri_[e], e, pri_[t], t)) {
+        steals_all = false;
+        break;
+      }
+    }
+    return !any_taken ? 1 : (steals_all ? 2 : 0);
+  }
+
   // P4 of insert_edges: one claim round over the steal candidates. Each
   // stealer CAS-mins itself into every endpoint slot; an edge owning all
   // its slots wins, displaces the matches it touches, and commits. Losers
@@ -500,24 +793,28 @@ class DynamicMatcher {
   // better edge or freed into settle(), which restores maximality.
   void resolve_steals(std::span<const EdgeId> stealers) {
     if (stealers.empty()) return;
-    charge_phase(stealers.size());
-    const bool seq = parallel::sequential_mode();
-    parallel::parallel_for(0, stealers.size(), [&](std::size_t i) {
-      EdgeId e = stealers[i];
-      for (VertexId v : pool_.vertices(e)) {
-        if (seq) {
-          EdgeId cur = min_edge_[v];
-          if (cur == kInvalid ||
-              matching::detail::beats(pri_[e], e, pri_[cur], cur))
-            min_edge_[v] = e;
-          continue;
-        }
-        std::atomic_ref<EdgeId> slot(min_edge_[v]);
-        EdgeId cur = slot.load(std::memory_order_relaxed);
-        while (cur == kInvalid ||
-               matching::detail::beats(pri_[e], e, pri_[cur], cur)) {
-          if (slot.compare_exchange_weak(cur, e, std::memory_order_acq_rel))
-            break;
+    std::size_t ns = stealers.size();
+    const bool seq = parallel::run_phase_seq(ns);
+    if (seq) {
+      resolve_steals_fused(stealers);
+      return;
+    }
+    charge_phase(ns);
+    parallel::parallel_for_blocked(0, ns, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        if (i + kPrefetchAhead < e)
+          for (VertexId v : pool_.vertices(stealers[i + kPrefetchAhead]))
+            prefetch_write(&vh_[v]);
+        EdgeId ed = stealers[i];
+        for (VertexId v : pool_.vertices(ed)) {
+          std::atomic_ref<EdgeId> slot(vh_[v].min_edge);
+          EdgeId cur = slot.load(std::memory_order_relaxed);
+          while (cur == kInvalid ||
+                 matching::detail::beats(pri_[ed], ed, pri_[cur], cur)) {
+            if (slot.compare_exchange_weak(cur, ed,
+                                           std::memory_order_acq_rel))
+              break;
+          }
         }
       }
     });
@@ -525,27 +822,23 @@ class DynamicMatcher {
         stealers,
         [&](EdgeId e) {
           for (VertexId v : pool_.vertices(e))
-            if (min_edge_[v] != e) return false;
+            if (vh_[v].min_edge != e) return false;
           return true;
         },
         ws_.arena);
-    charge_phase(stealers.size());
-    parallel::parallel_for(0, stealers.size(), [&](std::size_t i) {
-      for (VertexId v : pool_.vertices(stealers[i])) {
-        if (seq)
-          min_edge_[v] = kInvalid;
-        else
-          std::atomic_ref<EdgeId>(min_edge_[v])
-              .store(kInvalid, std::memory_order_relaxed);
-      }
+    charge_phase(ns);
+    parallel::parallel_for(0, ns, [&](std::size_t i) {
+      for (VertexId v : pool_.vertices(stealers[i]))
+        std::atomic_ref<EdgeId>(vh_[v].min_edge)
+            .store(kInvalid, std::memory_order_relaxed);
     });
     if (winners.empty()) return;
-    // A victim can touch two winners at different vertices; dedup (radix +
-    // parallel pack) before unmatching so each is displaced exactly once.
+    // A victim can touch two winners at different vertices; dedup (ascending
+    // sort + pack) before unmatching so each is displaced exactly once.
     ws_.victims.clear();
     for (EdgeId e : winners)
       for (VertexId v : pool_.vertices(e)) {
-        EdgeId t = taken_by_[v];
+        EdgeId t = vh_[v].taken_by;
         if (t != kInvalid) ws_.victims.push_back(t);
       }
     charge_phases(kRadixPhases + 1, ws_.victims.size());
@@ -554,12 +847,57 @@ class DynamicMatcher {
                       ws_.arena);
     auto victims = prims::dedup_sorted(
         std::span<const EdgeId>(ws_.victims), ws_.arena);
-    for (EdgeId t : victims) unmatch(t);
-    charge_phase(winners.size());
-    parallel::parallel_for(0, winners.size(),
-                           [&](std::size_t i) { commit_arrays(winners[i]); });
-    for (EdgeId e : winners) matched_add(e);
+    unmatch_all(victims);
+    commit_matches(winners);
     stats_.stolen += winners.size();
+  }
+
+  // P4, fused strategy: the identical claim/winner/victim logic as direct
+  // plain-memory loops -- same charges, same winner and victim order, none
+  // of the mark/pack machinery.
+  void resolve_steals_fused(std::span<const EdgeId> stealers) {
+    std::size_t ns = stealers.size();
+    charge_phase(ns);
+    for (std::size_t i = 0; i < ns; ++i) {
+      if (i + kPrefetchAhead < ns)
+        for (VertexId v : pool_.vertices(stealers[i + kPrefetchAhead]))
+          prefetch_write(&vh_[v]);
+      EdgeId ed = stealers[i];
+      for (VertexId v : pool_.vertices(ed)) {
+        EdgeId cur = vh_[v].min_edge;
+        if (cur == kInvalid ||
+            matching::detail::beats(pri_[ed], ed, pri_[cur], cur))
+          vh_[v].min_edge = ed;
+      }
+    }
+    auto winners = ws_.arena.alloc<EdgeId>(ns);
+    std::size_t nw = 0;
+    for (EdgeId e : stealers) {
+      bool owns = true;
+      for (VertexId v : pool_.vertices(e)) owns = owns && vh_[v].min_edge == e;
+      if (owns) winners[nw++] = e;
+    }
+    charge_phase(ns);
+    for (EdgeId e : stealers)
+      for (VertexId v : pool_.vertices(e)) vh_[v].min_edge = kInvalid;
+    if (nw == 0) return;
+    ws_.victims.clear();
+    for (std::size_t i = 0; i < nw; ++i)
+      for (VertexId v : pool_.vertices(winners[i])) {
+        EdgeId t = vh_[v].taken_by;
+        if (t != kInvalid) ws_.victims.push_back(t);
+      }
+    charge_phases(kRadixPhases + 1, ws_.victims.size());
+    prims::radix_sort(std::span<EdgeId>(ws_.victims),
+                      [](EdgeId e) { return std::uint64_t(e); }, id_bits(),
+                      ws_.arena);
+    std::size_t m = 0;
+    for (std::size_t i = 0; i < ws_.victims.size(); ++i)
+      if (i == 0 || ws_.victims[i] != ws_.victims[i - 1])
+        ws_.victims[m++] = ws_.victims[i];
+    unmatch_all({ws_.victims.data(), m});
+    commit_matches({winners.data(), nw});
+    stats_.stolen += nw;
   }
 
   // ---- greedy over a candidate set ------------------------------------
@@ -567,22 +905,25 @@ class DynamicMatcher {
   void run_greedy(std::span<const EdgeId> candidates) {
     if (candidates.empty()) return;
     charge_phase(candidates.size());
-    candidates = prims::filter_marked(
-        candidates, [&](EdgeId e) { return all_endpoints_free(e); },
-        ws_.arena);
+    if (parallel::run_phase_seq(candidates.size())) {
+      auto keep = ws_.arena.alloc<EdgeId>(candidates.size());
+      std::size_t nk = 0;
+      for (EdgeId e : candidates)
+        if (all_endpoints_free(e)) keep[nk++] = e;
+      candidates = {keep.data(), nk};
+    } else {
+      candidates = prims::filter_marked(
+          candidates, [&](EdgeId e) { return all_endpoints_free(e); },
+          ws_.arena);
+    }
     if (candidates.empty()) return;
     ws_.matched.clear();
     std::size_t rounds = matching::greedy_match_rounds(
-        pool_, candidates, [&](EdgeId e) { return pri_[e]; }, taken_by_,
-        min_edge_, &ws_.matched, ws_.arena, &stats_.work_units,
-        &batch_.measured_depth);
+        pool_, candidates, [&](EdgeId e) { return pri_[e]; }, vh_,
+        &ws_.matched, ws_.arena, &stats_.work_units, &batch_.measured_depth);
     batch_.parallel_phases += 5 * rounds;
     if (rounds > batch_.max_greedy_rounds) batch_.max_greedy_rounds = rounds;
-    charge_phase(ws_.matched.size());
-    parallel::parallel_for(0, ws_.matched.size(), [&](std::size_t i) {
-      commit_arrays(ws_.matched[i]);
-    });
-    for (EdgeId e : ws_.matched) matched_add(e);
+    commit_matches(ws_.matched);
   }
 
   // ---- randomSettle (Section 4) ---------------------------------------
@@ -592,31 +933,71 @@ class DynamicMatcher {
   // (or the minimum-priority one under light_only). `rng` is this vertex's
   // private stream for the round, so concurrent vertices never share state.
   // `scanned` reports the scan length for the caller's work accounting.
+  // all_endpoints_free for an edge known to be incident to the (free)
+  // vertex v: v's own record never needs re-reading, so the check chases
+  // one fewer line per scanned entry at rank 2.
+  bool free_beyond(VertexId v, EdgeId e) const {
+    for (VertexId u : pool_.vertices(e))
+      if (u != v && vh_[u].taken_by != kInvalid) return false;
+    return true;
+  }
+
   EdgeId sample_candidate(VertexId v, Rng rng, std::size_t& scanned) {
     std::size_t seen = 0;
     EdgeId pick = kInvalid;
-    scanned = adj_.compact_visit(v, [&](std::uint64_t entry) {
-      if (!pool_.ref_valid(entry)) return false;  // stale: compact it away
-      EdgeId e = graph::EdgePool::ref_id(entry);
-      if (all_endpoints_free(e)) {
-        ++seen;
-        if (cfg_.light_only) {
-          if (pick == kInvalid ||
-              matching::detail::beats(pri_[e], e, pri_[pick], pick))
-            pick = e;
-        } else if (rng.next_below(seen) == 0) {
-          pick = e;
-        }
-      }
-      return true;
-    });
+    scanned = adj_.compact_visit(
+        vh_[v].adj,
+        [&](std::uint64_t entry) {
+          if (!pool_.ref_valid(entry)) return false;  // stale: compact away
+          EdgeId e = graph::EdgePool::ref_id(entry);
+          if (free_beyond(v, e)) {
+            ++seen;
+            if (cfg_.light_only) {
+              if (pick == kInvalid ||
+                  matching::detail::beats(pri_[e], e, pri_[pick], pick))
+                pick = e;
+            } else if (rng.next_below(seen) == 0) {
+              pick = e;
+            }
+          }
+          return true;
+        },
+        // Far peek: the visitor's first-level loads are the packed pool
+        // slot (validation) and the vertex row (free-ness check); pull
+        // both kPeekAhead entries early so the misses overlap.
+        [&](std::uint64_t entry) {
+          EdgeId e = graph::EdgePool::ref_id(entry);
+          pool_.prefetch_record(e);
+        },
+        // Near peek: by now the slot and vertex row are resident, so read
+        // them (speculatively -- stale refs yield an empty row) and pull
+        // the second-level endpoint records the free-ness check chases.
+        [&](std::uint64_t entry) {
+          EdgeId e = graph::EdgePool::ref_id(entry);
+          for (VertexId u : pool_.vertices_if_live(e))
+            if (u != v) prefetch_read(&vh_[u]);
+        });
     return pick;
+  }
+
+  // unmatch with the matched-position and matched-list lines staged ahead:
+  // three tiny sweeps turn the dependent-miss chain (ehot_[e].matched_pos ->
+  // matched_edges_[idx]) into overlapped misses before the serial loop.
+  void unmatch_all(std::span<const EdgeId> victims) {
+    for (EdgeId e : victims) prefetch_read(&ehot_[e]);
+    for (EdgeId e : victims)
+      prefetch_write(&matched_edges_[ehot_[e].matched_pos]);
+    for (EdgeId e : victims) unmatch(e);
   }
 
   // Settles ws_.freed: rounds of concurrent sampling + one greedy claim
   // round each, ping-ponging the pending set between ws_.freed and
   // ws_.still. The arena resets at every round boundary (no span crosses
-  // it; the pending sets ride in the named vectors).
+  // it; the pending sets ride in the named vectors). Each round picks its
+  // execution strategy by pending size: the fused pass samples, sums the
+  // scan work, and packs survivors + draws in ONE loop; the forked pass
+  // does the same in a blocked count pass + scatter pass (the old
+  // separate sample / reduce / dual-pack phases, fused).
   void settle() {
     std::vector<VertexId>& pending = ws_.freed;
     std::vector<VertexId>& still = ws_.still;
@@ -624,49 +1005,160 @@ class DynamicMatcher {
       ws_.arena.reset();
       std::uint64_t round = ++settle_epoch_;
       std::size_t np = pending.size();
-      // Phase: every still-free pending vertex compacts + samples
-      // concurrently, each on its own (vertex, round)-keyed stream.
-      charge_phases(2, np);  // sample + scanned-length reduce
-      auto draws = ws_.arena.alloc<EdgeId>(np);
-      auto scanned = ws_.arena.alloc<std::size_t>(np);
-      parallel::parallel_for(0, np, [&](std::size_t i) {
-        VertexId v = pending[i];
-        EdgeId c = kInvalid;
-        std::size_t len = 0;
-        if (taken_by_[v] == kInvalid)
-          c = sample_candidate(v, settle_draw_.stream(v, round), len);
-        draws[i] = c;
-        scanned[i] = len;
-      });
-      stats_.work_units +=
-          prims::reduce(std::span<const std::size_t>(scanned), ws_.arena);
+      charge_phases(2, np);  // fused sample/count + scatter
+      std::span<EdgeId> sampled;
+      std::size_t scanned_total = 0;
+      if (parallel::run_phase_seq(np)) {
+        auto buf = ws_.arena.alloc<EdgeId>(np);
+        still.clear();
+        std::size_t nsamp = 0;
+        auto peek_entry = [&](std::uint64_t entry) {
+          EdgeId pe = graph::EdgePool::ref_id(entry);
+          pool_.prefetch_record(pe);
+        };
+        // Three-stage prefetch pipeline across pending vertices: header +
+        // record first; then, for still-free vertices only (the rematched
+        // ones are skipped by the scan, so priming them is wasted
+        // bandwidth), the chain's first chunk; then the chain's first
+        // entries' slots and vertex rows -- so a vertex's scan starts
+        // primed instead of paying a cold dependent-miss ramp. Small
+        // pending sets run the stages as full sweeps (a rolling window
+        // shorter than the set never fires); large ones roll.
+        const bool sweep_all = np <= kSweepSmall;
+        if (sweep_all) {
+          for (std::size_t i = 0; i < np; ++i) prefetch_read(&vh_[pending[i]]);
+          for (std::size_t i = 0; i < np; ++i)
+            if (vh_[pending[i]].free())
+              adj_.prefetch_chain(vh_[pending[i]].adj);
+          for (std::size_t i = 0; i < np; ++i)
+            if (vh_[pending[i]].free())
+              adj_.peek_prefix(vh_[pending[i]].adj,
+                               graph::ChunkedAdjacency::kPeekAhead,
+                               peek_entry);
+        }
+        for (std::size_t i = 0; i < np; ++i) {
+          if (!sweep_all) {
+            if (i + kPrefetchAhead < np)
+              prefetch_read(&vh_[pending[i + kPrefetchAhead]]);
+            if (i + kPrefetchAhead / 2 < np) {
+              const auto& f = vh_[pending[i + kPrefetchAhead / 2]];
+              if (f.free()) adj_.prefetch_chain(f.adj);
+            }
+            if (i + 1 < np && vh_[pending[i + 1]].free())
+              adj_.peek_prefix(vh_[pending[i + 1]].adj,
+                               graph::ChunkedAdjacency::kPeekAhead,
+                               peek_entry);
+          }
+          VertexId v = pending[i];
+          EdgeId c = kInvalid;
+          std::size_t len = 0;
+          if (vh_[v].taken_by == kInvalid)
+            c = sample_candidate(v, settle_draw_.stream(v, round), len);
+          scanned_total += len;
+          if (c != kInvalid) {
+            still.push_back(v);
+            buf[nsamp++] = c;
+          }
+        }
+        sampled = buf.first(nsamp);
+      } else {
+        std::size_t grain = parallel::default_grain(np);
+        std::size_t blocks = (np + grain - 1) / grain;
+        auto draws = ws_.arena.alloc<EdgeId>(np);
+        auto cnt = ws_.arena.alloc<std::size_t>(blocks);
+        auto scn = ws_.arena.alloc<std::size_t>(blocks);
+        std::fill(cnt.begin(), cnt.end(), 0);
+        std::fill(scn.begin(), scn.end(), 0);
+        parallel::parallel_for_blocked(
+            0, np,
+            [&](std::size_t b, std::size_t e) {
+              std::size_t c = 0, s = 0;
+              for (std::size_t i = b; i < e; ++i) {
+                if (i + kPrefetchAhead < e)
+                  prefetch_read(&vh_[pending[i + kPrefetchAhead]]);
+                if (i + kPrefetchAhead / 2 < e) {
+                  const auto& f = vh_[pending[i + kPrefetchAhead / 2]];
+                  if (f.free()) adj_.prefetch_chain(f.adj);
+                }
+                if (i + 1 < e && vh_[pending[i + 1]].free())
+                  adj_.peek_prefix(
+                      vh_[pending[i + 1]].adj,
+                      graph::ChunkedAdjacency::kPeekAhead,
+                      [&](std::uint64_t entry) {
+                        EdgeId pe = graph::EdgePool::ref_id(entry);
+                        pool_.prefetch_record(pe);
+                      });
+                VertexId v = pending[i];
+                EdgeId d = kInvalid;
+                std::size_t len = 0;
+                if (vh_[v].taken_by == kInvalid)
+                  d = sample_candidate(v, settle_draw_.stream(v, round), len);
+                draws[i] = d;
+                s += len;
+                c += d != kInvalid ? 1 : 0;
+              }
+              cnt[b / grain] = c;
+              scn[b / grain] = s;
+            },
+            grain);
+        std::size_t total = 0;
+        for (std::size_t b = 0; b < blocks; ++b) {
+          scanned_total += scn[b];
+          std::size_t c = cnt[b];
+          cnt[b] = total;
+          total += c;
+        }
+        still.resize(total);
+        auto buf = ws_.arena.alloc<EdgeId>(total);
+        parallel::parallel_for_blocked(
+            0, np,
+            [&](std::size_t b, std::size_t e) {
+              std::size_t pos = cnt[b / grain];
+              for (std::size_t i = b; i < e; ++i) {
+                if (draws[i] != kInvalid) {
+                  still[pos] = pending[i];
+                  buf[pos] = draws[i];
+                  ++pos;
+                }
+              }
+            },
+            grain);
+        sampled = buf.first(total);
+      }
+      stats_.work_units += scanned_total;
       // Vertices with no free incident edge are settled free and drop out;
-      // the rest carry to the next round (still) and their draws run this
-      // round's claim (sampled). Both packs share one keep predicate, so
-      // one dual pack emits the two arrays with a single count + scatter.
-      charge_phases(2, np);
-      auto sampled = prims::pack_index2<VertexId, EdgeId>(
-          np, [&](std::size_t i) { return draws[i] != kInvalid; },
-          [&](std::size_t i) { return pending[i]; }, still,
-          [&](std::size_t i) { return draws[i]; }, ws_.arena);
+      // the rest carried to the next round (still) and their draws run this
+      // round's claim.
       if (sampled.empty()) {
         pending.clear();
         return;
       }
-      // Two freed vertices may sample the same edge; run it once (radix +
-      // parallel dedup).
+      // Two freed vertices may sample the same edge; run it once.
       charge_phases(kRadixPhases + 1, sampled.size());
       prims::radix_sort(sampled, [](EdgeId e) { return std::uint64_t(e); },
                         id_bits(), ws_.arena);
-      auto uniq =
-          prims::dedup_sorted(std::span<const EdgeId>(sampled), ws_.arena);
+      std::span<const EdgeId> uniq;
+      if (parallel::run_phase_seq(sampled.size())) {
+        std::size_t m = 0;
+        for (std::size_t i = 0; i < sampled.size(); ++i)
+          if (i == 0 || sampled[i] != sampled[i - 1]) sampled[m++] = sampled[i];
+        uniq = sampled.first(m);
+      } else {
+        uniq = prims::dedup_sorted(std::span<const EdgeId>(sampled),
+                                   ws_.arena);
+      }
       if (!cfg_.light_only) {
         // Fresh samples (the lazy machinery's coin), keyed (edge, round) so
         // the draw is one word regardless of who sampled the edge.
         charge_phase(uniq.size());
-        parallel::parallel_for(0, uniq.size(), [&](std::size_t i) {
-          pri_[uniq[i]] = settle_pri_.word(uniq[i], round);
-        });
+        parallel::parallel_for_blocked(
+            0, uniq.size(), [&](std::size_t b, std::size_t e) {
+              for (std::size_t i = b; i < e; ++i) {
+                if (i + kPrefetchAhead < e)
+                  prefetch_write(&pri_[uniq[i + kPrefetchAhead]]);
+                pri_[uniq[i]] = settle_pri_.word(uniq[i], round);
+              }
+            });
         stats_.samples_created += uniq.size();
       }
       ++stats_.settle_rounds;
@@ -691,14 +1183,9 @@ class DynamicMatcher {
   BatchStats batch_;
   BatchWorkspace ws_;
 
-  std::vector<std::uint64_t> pri_;          // id -> current sample
-  std::vector<std::uint32_t> growth_;       // id -> inserts since settle
-  std::vector<std::uint64_t> threshold_;    // id -> bloat threshold
-  std::vector<std::uint32_t> settle_size_;  // id -> neighborhood @ settle
-  std::vector<std::uint32_t> matched_pos_;  // id -> index in matched_edges_
-  std::vector<EdgeId> taken_by_;            // vertex -> its match
-  std::vector<EdgeId> min_edge_;            // vertex scratch for claiming
-  std::vector<std::uint32_t> live_deg_;     // vertex -> live incident edges
+  std::vector<std::uint64_t> pri_;       // id -> current sample
+  std::vector<EdgeHot> ehot_;            // id -> packed bloat + list state
+  std::vector<matching::VertexHot> vh_;  // vertex -> packed hot record
   graph::ChunkedAdjacency adj_;             // vertex -> (gen, id) packed refs
   std::vector<EdgeId> matched_edges_;       // the matching, unordered
 };

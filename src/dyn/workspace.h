@@ -13,6 +13,12 @@
 // settle round. Spans handed out by the arena are dead at those points by
 // construction of the phase order (no span crosses a settle-round
 // boundary; cross-round state rides in the named vectors).
+//
+// Both execution strategies of the adaptive engine (DESIGN.md S11) draw
+// from the same workspace: the fused sequential fast path carves its pair
+// staging, class splits, and settle draws out of the identical arena the
+// forked phases would have used, so the zero-allocation contract holds for
+// every PARMATCH_EXEC_MODE.
 #pragma once
 
 #include <vector>

@@ -1,10 +1,16 @@
 // graph/adjacency.h -- chunked-arena incidence lists for the dynamic
-// matcher (DESIGN.md S7). Replaces the old vector<vector<uint64_t>>
+// matcher (DESIGN.md S7/S11). Replaces the old vector<vector<uint64_t>>
 // per-vertex adjacency: entries live in fixed-size chunks carved out of
 // slab storage, so appends never touch the general-purpose allocator, a
 // vertex's entries sit on whole cache lines instead of pointer-chased heap
 // nodes, and lazy compaction (sample_candidate's stale-entry drop) rewrites
 // the vertex's own chunk chain in place.
+//
+// The per-vertex chain header (AdjHead) is CALLER-owned: the matcher
+// embeds it in the packed per-vertex VertexHot record so the hot loops
+// read vertex state and chain location in one cache line (DESIGN.md S11).
+// The arena itself owns only the chunk slabs and the bump cursor; every
+// chain operation takes the header by reference.
 //
 // Chunk storage is a list of fixed-size slabs (512 KiB each), never a
 // single growing vector: growth appends a slab without copying or
@@ -13,9 +19,10 @@
 // O(everything so far).
 //
 // Concurrency contract (matches the matcher's phase structure):
-//  * append/compact on a given vertex are owner-exclusive -- exactly one
-//    worker touches a vertex within a phase (the per-vertex-group ownership
-//    of insert P2, the per-pending-vertex ownership of settle sampling).
+//  * append/compact on a given header (vertex) are owner-exclusive --
+//    exactly one worker touches a vertex within a phase (the
+//    per-vertex-group ownership of insert P2, the per-pending-vertex
+//    ownership of settle sampling).
 //  * Different vertices append concurrently; the only shared state is the
 //    chunk bump cursor (one relaxed fetch_add per new chunk). Slabs are
 //    pre-sized by reserve_for() BEFORE a parallel phase, so the slab list
@@ -42,19 +49,26 @@
 #include <vector>
 
 #include "graph/edge.h"
+#include "util/prefetch.h"
 
 namespace parmatch::graph {
+
+// Per-vertex chain header. Owned and stored by the CALLER, not the arena:
+// the matcher embeds it in the packed VertexHot record
+// (matching/vertex_hot.h), so reading a vertex's hot state and locating
+// its incidence chain is one cache line, not two (DESIGN.md S11).
+struct AdjHead {
+  static constexpr std::uint32_t kNull = 0xFFFF'FFFFu;
+  std::uint32_t head = kNull;  // first chunk of the chain
+  std::uint32_t tail = kNull;  // chunk holding entry len-1 (== head if empty)
+  std::uint32_t len = 0;       // live + not-yet-compacted entries
+};
 
 class ChunkedAdjacency {
  public:
   // 15 entries + next link = 128 bytes, two cache lines per chunk.
   static constexpr std::size_t kChunkCap = 15;
-  static constexpr std::uint32_t kNull = 0xFFFF'FFFFu;
-
-  // Grows the per-vertex header table to cover [0, vb). Not concurrent.
-  void ensure_vertex_bound(std::size_t vb) {
-    if (heads_.size() < vb) heads_.resize(vb);
-  }
+  static constexpr std::uint32_t kNull = AdjHead::kNull;
 
   // Guarantees the slabs can absorb `extra_entries` appended entries spread
   // over at most `touched_vertices` vertices without growing. Call before
@@ -66,11 +80,39 @@ class ChunkedAdjacency {
       slabs_.push_back(std::make_unique_for_overwrite<Chunk[]>(kSlabChunks));
   }
 
-  std::size_t length(VertexId v) const { return heads_[v].len; }
+  // Prefetch hooks for the batched-miss pipeline (DESIGN.md S11). The
+  // header itself lives in the caller's record (one prefetch covers both);
+  // these stages require it to be resident already: pull the first chunk
+  // of the chain (scans) or the append cursor's line (inserts).
+  void prefetch_chain(const AdjHead& h) const {
+    if (h.head == kNull || h.len == 0) return;
+    const Chunk* c = &chunk_at(h.head);
+    prefetch_read(c);
+    prefetch_read(reinterpret_cast<const char*>(c) + 64);
+  }
+
+  void prefetch_append_target(const AdjHead& h) const {
+    if (h.head == kNull) return;
+    std::size_t pos = h.len % kChunkCap;
+    prefetch_write(reinterpret_cast<const char*>(&chunk_at(h.tail)) +
+                   (pos * sizeof(std::uint64_t) & ~std::size_t{63}));
+  }
+
+  // Stage 3 of the scan pipeline: the chain's first chunk is resident
+  // (prefetch_chain issued earlier), so hand its first `limit` entries to
+  // `f` -- the caller prefetches their dependent lines before the real
+  // scan reaches the vertex. Read-only.
+  template <typename F>
+  void peek_prefix(const AdjHead& h, std::size_t limit, F&& f) const {
+    std::size_t n = h.len < limit ? h.len : limit;
+    if (n == 0) return;
+    const Chunk& c = chunk_at(h.head);
+    if (n > kChunkCap) n = kChunkCap;
+    for (std::size_t i = 0; i < n; ++i) f(c.entry[i]);
+  }
 
   // Owner-exclusive append of one packed (generation, id) entry.
-  void append(VertexId v, std::uint64_t entry) {
-    Head& h = heads_[v];
+  void append(AdjHead& h, std::uint64_t entry) {
     if (h.head == kNull) h.head = h.tail = alloc_chunk();
     std::size_t pos = h.len % kChunkCap;
     if (pos == 0 && h.len != 0) {
@@ -93,15 +135,64 @@ class ChunkedAdjacency {
   // new tail for reuse. Returns the pre-compaction length (the scan cost
   // the caller charges to its work accounting).
   template <typename Visit>
-  std::size_t compact_visit(VertexId v, Visit&& visit) {
-    Head& h = heads_[v];
+  std::size_t compact_visit(AdjHead& h, Visit&& visit) {
+    return compact_visit(
+        h, visit, [](std::uint64_t) {}, [](std::uint64_t) {});
+  }
+
+  // compact_visit with two lookahead hooks forming a prefetch pipeline:
+  // peek_far(entry) fires kPeekAhead entries before visit(entry) -- issue
+  // address-only prefetches (slot records, vertex rows); peek_near(entry)
+  // fires kPeekAhead/2 entries before -- by then the far prefetches have
+  // landed, so it can cheaply READ those lines and prefetch one dependency
+  // level deeper (e.g. the endpoint's vertex record). Hooks must not
+  // mutate anything.
+  template <typename Visit, typename PeekFar, typename PeekNear>
+  std::size_t compact_visit(AdjHead& h, Visit&& visit, PeekFar&& peek_far,
+                            PeekNear&& peek_near) {
     std::size_t len = h.len;
     if (len == 0) return 0;
     std::uint32_t rc = h.head, wc = h.head;
     std::size_t ri = 0, wi = 0, kept = 0;
     const Chunk* rch = &chunk(rc);
     Chunk* wch = &chunk(wc);
+    if (len <= kPeekAhead) {
+      // Short chain (one partial chunk): the cursor machinery below is
+      // pure overhead. Run the near hook over every entry, then visit.
+      for (std::size_t k = 0; k < len; ++k) peek_near(rch->entry[k]);
+      for (std::size_t k = 0; k < len; ++k) {
+        std::uint64_t e = rch->entry[k];
+        if (visit(e)) wch->entry[kept++] = e;
+      }
+      h.len = static_cast<std::uint32_t>(kept);
+      h.tail = wc;
+      return len;
+    }
+    // Far cursor runs kPeekAhead entries in front of the read cursor; a
+    // small ring of already-far-peeked entries feeds the near hook at
+    // half that distance. Compaction writes trail the read cursor, so the
+    // peeks always see unmodified entries.
+    std::uint32_t pc = rc;
+    std::size_t pi = 0, peeked = 0;
+    const Chunk* pch = rch;
+    std::uint64_t ring[kPeekAhead];
+    auto advance_peek = [&] {
+      if (peeked >= len) return;
+      if (pi == kChunkCap) {
+        pc = pch->next;
+        pch = &chunk(pc);
+        pi = 0;
+      }
+      std::uint64_t e = pch->entry[pi++];
+      peek_far(e);
+      ring[peeked % kPeekAhead] = e;
+      ++peeked;
+    };
+    for (std::size_t w = 0; w < kPeekAhead && w < len; ++w) advance_peek();
+    constexpr std::size_t kNear = kPeekAhead / 2;
     for (std::size_t k = 0; k < len; ++k) {
+      advance_peek();
+      if (k + kNear < peeked) peek_near(ring[(k + kNear) % kPeekAhead]);
       if (ri == kChunkCap) {
         rc = rch->next;
         rch = &chunk(rc);
@@ -123,6 +214,9 @@ class ChunkedAdjacency {
     return len;
   }
 
+  // How far the scan's far peek cursor runs ahead of the visit cursor.
+  static constexpr std::size_t kPeekAhead = 4;
+
   // Diagnostics: chunks handed out so far.
   std::size_t chunks_in_use() const {
     return cursor_.load(std::memory_order_relaxed);
@@ -137,13 +231,11 @@ class ChunkedAdjacency {
 
   static constexpr std::size_t kSlabChunks = 1u << 12;  // 512 KiB per slab
 
-  struct Head {
-    std::uint32_t head = kNull;  // first chunk of the chain
-    std::uint32_t tail = kNull;  // chunk holding entry len-1 (== head if empty)
-    std::uint32_t len = 0;       // live + not-yet-compacted entries
-  };
-
   Chunk& chunk(std::uint32_t i) {
+    return slabs_[i / kSlabChunks][i % kSlabChunks];
+  }
+
+  const Chunk& chunk_at(std::uint32_t i) const {
     return slabs_[i / kSlabChunks][i % kSlabChunks];
   }
 
@@ -158,7 +250,6 @@ class ChunkedAdjacency {
   }
 
   std::vector<std::unique_ptr<Chunk[]>> slabs_;
-  std::vector<Head> heads_;
   std::atomic<std::size_t> cursor_{0};
 };
 

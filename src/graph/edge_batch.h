@@ -30,6 +30,13 @@ class EdgeBatch {
     add(std::span<const VertexId>(vertices.begin(), vertices.size()));
   }
 
+  // Empties the batch but keeps both buffers' capacity, so a serving loop
+  // can refill the same batch object allocation-free.
+  void clear() {
+    verts_.clear();
+    offsets_.resize(1);
+  }
+
   std::size_t size() const { return offsets_.size() - 1; }
   bool empty() const { return size() == 0; }
 

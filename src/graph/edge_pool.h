@@ -11,6 +11,14 @@
 // O(1) without eagerly unlinking it (the constant-work deletion path in
 // paper Section 5 depends on this).
 //
+// Storage layout (DESIGN.md S11): ONE record per id --
+// [generation][rank][vertices...] at a fixed stride -- instead of separate
+// generation/rank/vertex arrays. The settle scan's innermost step
+// (validate a ref, then read its vertices) and the delete path's
+// liveness-then-vertices chase each touch a single cache line at rank 2
+// (16-byte records, line-aligned since the stride divides 64), where the
+// split arrays cost two to three.
+//
 // Complexity contract: add/remove are O(r) per edge; vertices() is O(1).
 #pragma once
 
@@ -24,15 +32,21 @@
 #include "graph/edge.h"
 #include "graph/edge_batch.h"
 #include "parallel/parallel_for.h"
+#include "util/prefetch.h"
 
 namespace parmatch::graph {
 
 class EdgePool {
  public:
-  // max_rank is capped at 255: ranks are stored in a uint8_t (0 marks a
-  // free slot) to keep the hot arrays dense. The paper's regime is small
-  // constant r, so the cap is a storage contract, not a real limit.
-  explicit EdgePool(std::size_t max_rank) : max_rank_(max_rank) {
+  // max_rank is capped at 255 as a sanity bound on the record stride. The
+  // paper's regime is small constant r, so the cap is a storage contract,
+  // not a real limit.
+  explicit EdgePool(std::size_t max_rank)
+      : max_rank_(max_rank),
+        // 2 header words (gen, rank) + one word per vertex, padded to an
+        // even word count so records stay 8-byte aligned and the rank-2
+        // record is exactly 16 bytes (never straddles a cache line).
+        stride_((2 + max_rank + 1) & ~std::size_t{1}) {
     assert(max_rank_ >= 1 && max_rank_ <= 255);
   }
 
@@ -43,13 +57,11 @@ class EdgePool {
       id = free_.back();
       free_.pop_back();
     } else {
-      id = static_cast<EdgeId>(rank_.size());
-      rank_.push_back(0);
-      gen_.push_back(0);
-      verts_.resize(verts_.size() + max_rank_);
+      id = static_cast<EdgeId>(nslots_++);
+      data_.resize(nslots_ * stride_, 0);
     }
-    rank_[id] = static_cast<std::uint8_t>(vertices.size());
-    VertexId* dst = verts_.data() + static_cast<std::size_t>(id) * max_rank_;
+    rank_at(id) = static_cast<std::uint32_t>(vertices.size());
+    VertexId* dst = row(id);
     for (std::size_t i = 0; i < vertices.size(); ++i) {
       dst[i] = vertices[i];
       if (vertices[i] + 1 > vertex_bound_) vertex_bound_ = vertices[i] + 1;
@@ -69,12 +81,15 @@ class EdgePool {
     std::size_t k = batch.size();
     ids.resize(k);
     std::size_t f = k < free_.size() ? k : free_.size();
-    std::size_t free_top = free_.size();      // pops come off the tail
-    std::size_t fresh0 = rank_.size();        // first fresh id
-    rank_.resize(fresh0 + (k - f), 0);
-    gen_.resize(fresh0 + (k - f), 0);
-    verts_.resize(rank_.size() * max_rank_);
-    const bool seq = parallel::sequential_mode();
+    std::size_t free_top = free_.size();  // pops come off the tail
+    std::size_t fresh0 = nslots_;         // first fresh id
+    nslots_ += k - f;
+    data_.resize(nslots_ * stride_, 0);
+    // Recycled ids land at random records; sweep their lines into cache
+    // before the fill loop chases them one by one.
+    for (std::size_t i = 0; i < f; ++i)
+      prefetch_write(&data_[free_[free_top - 1 - i] * stride_]);
+    const bool seq = parallel::run_phase_seq(k);
     std::atomic<VertexId> vb(vertex_bound_);
     parallel::parallel_for(0, k, [&](std::size_t i) {
       auto vs = batch.edge(i);
@@ -82,14 +97,14 @@ class EdgePool {
       EdgeId id = i < f ? free_[free_top - 1 - i]
                         : static_cast<EdgeId>(fresh0 + (i - f));
       ids[i] = id;
-      rank_[id] = static_cast<std::uint8_t>(vs.size());
-      VertexId* dst = verts_.data() + static_cast<std::size_t>(id) * max_rank_;
+      rank_at(id) = static_cast<std::uint32_t>(vs.size());
+      VertexId* dst = row(id);
       VertexId local = 0;
       for (std::size_t j = 0; j < vs.size(); ++j) {
         dst[j] = vs[j];
         if (vs[j] + 1 > local) local = vs[j] + 1;
       }
-      if (seq) {  // plain max: the CAS loop is overhead without concurrency
+      if (seq) {  // plain max: the loop runs inline (run_phase_seq)
         if (local > vb.load(std::memory_order_relaxed))
           vb.store(local, std::memory_order_relaxed);
         return;
@@ -112,8 +127,8 @@ class EdgePool {
 
   void remove_edge(EdgeId id) {
     assert(live(id));
-    rank_[id] = 0;
-    ++gen_[id];
+    rank_at(id) = 0;
+    ++gen_at(id);
     free_.push_back(id);
     --live_;
   }
@@ -127,55 +142,97 @@ class EdgePool {
     parallel::parallel_for(0, ids.size(), [&](std::size_t i) {
       EdgeId id = ids[i];
       assert(live(id));
-      rank_[id] = 0;
-      ++gen_[id];
+      rank_at(id) = 0;
+      ++gen_at(id);
       free_[base + i] = id;
     });
     live_ -= ids.size();
   }
 
-  bool live(EdgeId id) const {
-    return id < rank_.size() && rank_[id] != 0;
-  }
+  bool live(EdgeId id) const { return id < nslots_ && rank_at(id) != 0; }
 
   std::span<const VertexId> vertices(EdgeId id) const {
     assert(live(id));
-    const VertexId* p = verts_.data() + static_cast<std::size_t>(id) * max_rank_;
-    return {p, p + rank_[id]};
+    const VertexId* p = row(id);
+    return {p, p + rank_at(id)};
   }
 
-  std::size_t rank(EdgeId id) const { return rank_[id]; }
+  std::size_t rank(EdgeId id) const { return rank_at(id); }
 
   // Generation of a slot; bumped each time the slot is freed, so a stale
   // (id, generation) reference can be detected in O(1).
-  std::uint32_t generation(EdgeId id) const { return gen_[id]; }
+  std::uint32_t generation(EdgeId id) const { return gen_at(id); }
 
   // Packed (generation << 32 | id) reference for lazily maintained
   // adjacency lists: holders never unlink eagerly; they drop entries whose
   // ref_valid() went false (the slot was freed, maybe recycled) instead.
   std::uint64_t packed_ref(EdgeId id) const {
-    return (static_cast<std::uint64_t>(gen_[id]) << 32) | id;
+    return (static_cast<std::uint64_t>(gen_at(id)) << 32) | id;
   }
   static EdgeId ref_id(std::uint64_t ref) { return static_cast<EdgeId>(ref); }
   bool ref_valid(std::uint64_t ref) const {
     EdgeId id = ref_id(ref);
-    return live(id) && gen_[id] == static_cast<std::uint32_t>(ref >> 32);
+    if (id >= nslots_) return false;
+    // Header and vertices share the record (and, at rank 2, the cache
+    // line), so the validate-then-read-vertices chase costs one miss.
+    return rank_at(id) != 0 &&
+           gen_at(id) == static_cast<std::uint32_t>(ref >> 32);
+  }
+
+  // Like vertices(), but id may name a freed or never-allocated slot
+  // (empty span) -- for speculative reads on possibly-stale refs, e.g. the
+  // settle scan's prefetch pipeline.
+  std::span<const VertexId> vertices_if_live(EdgeId id) const {
+    if (id >= nslots_) return {};
+    const VertexId* p = row(id);
+    return {p, p + rank_at(id)};
+  }
+
+  // Prefetch hook for the scanning loops: pulls the whole record --
+  // validation header and vertex row -- a few iterations early. Records
+  // wider than a line (rank > 14) get their tail line too.
+  void prefetch_record(EdgeId id) const {
+    if (id >= nslots_) return;
+    const std::uint32_t* p = &data_[static_cast<std::size_t>(id) * stride_];
+    prefetch_read(p);
+    if constexpr (sizeof(std::uint32_t) == 4) {
+      if (stride_ > 16) prefetch_read(p + 16);
+    }
   }
 
   // One past the largest vertex id ever stored.
   VertexId vertex_bound() const { return vertex_bound_; }
 
   // One past the largest edge id ever allocated (live or recycled).
-  std::size_t id_bound() const { return rank_.size(); }
+  std::size_t id_bound() const { return nslots_; }
 
   std::size_t live_count() const { return live_; }
   std::size_t max_rank() const { return max_rank_; }
 
  private:
+  std::uint32_t& gen_at(EdgeId id) {
+    return data_[static_cast<std::size_t>(id) * stride_];
+  }
+  const std::uint32_t& gen_at(EdgeId id) const {
+    return data_[static_cast<std::size_t>(id) * stride_];
+  }
+  std::uint32_t& rank_at(EdgeId id) {
+    return data_[static_cast<std::size_t>(id) * stride_ + 1];
+  }
+  const std::uint32_t& rank_at(EdgeId id) const {
+    return data_[static_cast<std::size_t>(id) * stride_ + 1];
+  }
+  VertexId* row(EdgeId id) {
+    return data_.data() + static_cast<std::size_t>(id) * stride_ + 2;
+  }
+  const VertexId* row(EdgeId id) const {
+    return data_.data() + static_cast<std::size_t>(id) * stride_ + 2;
+  }
+
   std::size_t max_rank_;
-  std::vector<VertexId> verts_;     // id * max_rank_ .. +rank_[id]
-  std::vector<std::uint8_t> rank_;  // 0 == free slot
-  std::vector<std::uint32_t> gen_;
+  std::size_t stride_;  // record width in 32-bit words
+  std::vector<std::uint32_t> data_;  // [gen][rank][vertices...] per id
+  std::size_t nslots_ = 0;
   std::vector<EdgeId> free_;
   VertexId vertex_bound_ = 0;
   std::size_t live_ = 0;

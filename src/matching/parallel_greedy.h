@@ -7,6 +7,18 @@
 // priorities (deterministic reservations sense), in O(log m) rounds whp
 // (Fischer-Noever).
 //
+// Per-vertex state lives in the packed VertexHot record
+// (matching/vertex_hot.h): taken_by and the min_edge claim slot share a
+// cache line, and the claim loop prefetches the records kPrefetchAhead
+// iterations ahead so the batch-random vertex misses overlap.
+//
+// Each round is adaptive (parallel/cost_model.h): below the calibrated
+// cutover it runs as one fused sequential pass -- claim, winner commit, and
+// scratch reset with plain memory ops, no barriers -- above it as the
+// 5-phase data-parallel schedule. Both produce the identical matching (the
+// CAS-min and the sequential min agree by construction), so the choice is
+// invisible to everything but the clock.
+//
 // Complexity contract: O(m') expected work (the active set shrinks
 // geometrically in expectation), O(log^2 m') depth whp: O(log m') rounds of
 // O(log) span primitives. greedy_match_rounds is the reusable core the
@@ -23,8 +35,10 @@
 #include "graph/edge.h"
 #include "graph/edge_pool.h"
 #include "matching/match_result.h"
+#include "matching/vertex_hot.h"
 #include "parallel/parallel_for.h"
 #include "prims/filter.h"
+#include "util/prefetch.h"
 #include "util/rng.h"
 #include "util/scratch_arena.h"
 
@@ -42,55 +56,106 @@ inline bool beats(std::uint64_t pa, graph::EdgeId a, std::uint64_t pb,
 
 // Runs local-minimum rounds over `active` against caller-owned vertex state.
 //  * pri(e)      -- priority of edge e (stable within the call);
-//  * taken_by    -- vertex -> matching edge (kInvalidEdge == free); entries
-//                   for newly matched edges are written;
-//  * min_edge    -- scratch, sized >= pool.vertex_bound(), all kInvalidEdge
-//                   on entry and restored to kInvalidEdge on exit;
+//  * vstate      -- packed per-vertex records, sized >= pool.vertex_bound();
+//                   taken_by of newly matched edges is written; min_edge
+//                   must be kInvalidEdge on entry and is restored on exit;
 //  * matched_out -- newly matched ids are appended (if non-null);
 //  * arena       -- scratch for the per-round winner/survivor packs; the
 //                   caller must keep it alive (and not reset it) for the
 //                   duration of the call;
 //  * work        -- accumulates edges touched (if non-null);
 //  * depth       -- accumulates measured span (if non-null): each round is
-//                   five data-parallel primitives over the active set, so it
-//                   charges 5 * parallel::model_depth(|active|).
+//                   charged as five data-parallel primitives over the
+//                   active set, 5 * parallel::model_depth(|active|),
+//                   regardless of which execution strategy ran it.
 // Returns the number of rounds. Allocation-free given warm buffers: round
 // scratch comes from the arena, matched_out reuses its capacity.
 template <typename PriFn>
 std::size_t greedy_match_rounds(const graph::EdgePool& pool,
                                 std::span<const graph::EdgeId> active,
-                                PriFn&& pri,
-                                std::vector<graph::EdgeId>& taken_by,
-                                std::vector<graph::EdgeId>& min_edge,
+                                PriFn&& pri, std::vector<VertexHot>& vstate,
                                 std::vector<graph::EdgeId>* matched_out,
                                 ScratchArena& arena,
                                 std::size_t* work = nullptr,
                                 std::size_t* depth = nullptr) {
   using graph::EdgeId;
   using graph::kInvalidEdge;
-  const bool seq = parallel::sequential_mode();
   std::size_t rounds = 0;
   while (!active.empty()) {
     ++rounds;
-    if (work) *work += active.size();
-    if (depth) *depth += 5 * parallel::model_depth(active.size());
-    // Claim: each active edge CAS-mins itself into every endpoint slot
-    // (plain compare-and-store when the pool is sequential).
-    parallel::parallel_for(0, active.size(), [&](std::size_t i) {
-      EdgeId e = active[i];
-      for (graph::VertexId v : pool.vertices(e)) {
-        if (seq) {
-          EdgeId cur = min_edge[v];
+    std::size_t n = active.size();
+    if (work) *work += n;
+    if (depth) *depth += 5 * parallel::model_depth(n);
+    if (parallel::run_phase_seq(n)) {
+      if (n == 1) {
+        // A lone active edge claims every (free, by the survivor
+        // invariant) endpoint unopposed and wins: the whole round
+        // collapses to the commit. min_edge is logically written and
+        // reset within the round, so it needs no touching.
+        EdgeId e = active[0];
+        for (graph::VertexId v : pool.vertices(e)) vstate[v].taken_by = e;
+        if (matched_out) matched_out->push_back(e);
+        return rounds;
+      }
+      // Fused sequential round: one pass claims, one pass commits winners
+      // (the winner test reads only min_edge, so committing taken_by as
+      // winners are found cannot change later tests), one pass resets and
+      // packs the survivors. Plain memory everywhere.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i + kPrefetchAhead < n)
+          for (graph::VertexId v : pool.vertices(active[i + kPrefetchAhead]))
+            prefetch_write(&vstate[v]);
+        EdgeId e = active[i];
+        for (graph::VertexId v : pool.vertices(e)) {
+          EdgeId cur = vstate[v].min_edge;
           if (cur == kInvalidEdge || detail::beats(pri(e), e, pri(cur), cur))
-            min_edge[v] = e;
-          continue;
+            vstate[v].min_edge = e;
         }
-        std::atomic_ref<EdgeId> slot(min_edge[v]);
-        EdgeId cur = slot.load(std::memory_order_relaxed);
-        while (cur == kInvalidEdge ||
-               detail::beats(pri(e), e, pri(cur), cur)) {
-          if (slot.compare_exchange_weak(cur, e, std::memory_order_acq_rel))
-            break;
+      }
+      auto winners = arena.alloc<EdgeId>(n);
+      std::size_t nw = 0;
+      for (EdgeId e : active) {
+        bool owns = true;
+        for (graph::VertexId v : pool.vertices(e))
+          owns = owns && vstate[v].min_edge == e;
+        if (!owns) continue;
+        winners[nw++] = e;
+        for (graph::VertexId v : pool.vertices(e)) vstate[v].taken_by = e;
+      }
+      if (matched_out)
+        matched_out->insert(matched_out->end(), winners.begin(),
+                            winners.begin() + nw);
+      auto survivors = arena.alloc<EdgeId>(n);
+      std::size_t ns = 0;
+      for (EdgeId e : active) {
+        bool free_all = true;
+        for (graph::VertexId v : pool.vertices(e)) {
+          vstate[v].min_edge = kInvalidEdge;
+          free_all = free_all && vstate[v].taken_by == kInvalidEdge;
+        }
+        if (free_all) survivors[ns++] = e;
+      }
+      active = std::span<const EdgeId>(survivors.data(), ns);
+      continue;
+    }
+    // Claim: each active edge CAS-mins itself into every endpoint slot,
+    // with the records for a few edges ahead prefetched so the random
+    // vertex misses overlap instead of serializing.
+    parallel::parallel_for_blocked(0, n, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        if (i + kPrefetchAhead < e)
+          for (graph::VertexId v : pool.vertices(active[i + kPrefetchAhead]))
+            prefetch_write(&vstate[v]);
+        EdgeId ed = active[i];
+        for (graph::VertexId v : pool.vertices(ed)) {
+          std::atomic_ref<EdgeId> slot(vstate[v].min_edge);
+          EdgeId cur = slot.load(std::memory_order_relaxed);
+          while (cur == kInvalidEdge ||
+                 detail::beats(pri(ed), ed, pri(cur), cur)) {
+            if (slot.compare_exchange_weak(cur, ed,
+                                           std::memory_order_acq_rel))
+              break;
+          }
         }
       }
     });
@@ -99,33 +164,29 @@ std::size_t greedy_match_rounds(const graph::EdgePool& pool,
         active,
         [&](EdgeId e) {
           for (graph::VertexId v : pool.vertices(e))
-            if (min_edge[v] != e) return false;
+            if (vstate[v].min_edge != e) return false;
           return true;
         },
         arena);
     parallel::parallel_for(0, winners.size(), [&](std::size_t i) {
       EdgeId e = winners[i];
-      for (graph::VertexId v : pool.vertices(e)) taken_by[v] = e;
+      for (graph::VertexId v : pool.vertices(e)) vstate[v].taken_by = e;
     });
     if (matched_out)
       matched_out->insert(matched_out->end(), winners.begin(), winners.end());
     // Reset scratch, then keep only edges with all endpoints still free.
     // Atomic store: several active edges share a vertex, so the same slot
     // is reset concurrently (same value, but a race without the atomic).
-    parallel::parallel_for(0, active.size(), [&](std::size_t i) {
-      for (graph::VertexId v : pool.vertices(active[i])) {
-        if (seq)
-          min_edge[v] = kInvalidEdge;
-        else
-          std::atomic_ref<EdgeId>(min_edge[v])
-              .store(kInvalidEdge, std::memory_order_relaxed);
-      }
+    parallel::parallel_for(0, n, [&](std::size_t i) {
+      for (graph::VertexId v : pool.vertices(active[i]))
+        std::atomic_ref<EdgeId>(vstate[v].min_edge)
+            .store(kInvalidEdge, std::memory_order_relaxed);
     });
     active = prims::filter_marked(
         active,
         [&](EdgeId e) {
           for (graph::VertexId v : pool.vertices(e))
-            if (taken_by[v] != kInvalidEdge) return false;
+            if (vstate[v].taken_by != kInvalidEdge) return false;
           return true;
         },
         arena);
@@ -138,16 +199,13 @@ std::size_t greedy_match_rounds(const graph::EdgePool& pool,
 template <typename PriFn>
 std::size_t greedy_match_rounds(const graph::EdgePool& pool,
                                 std::vector<graph::EdgeId> active,
-                                PriFn&& pri,
-                                std::vector<graph::EdgeId>& taken_by,
-                                std::vector<graph::EdgeId>& min_edge,
+                                PriFn&& pri, std::vector<VertexHot>& vstate,
                                 std::vector<graph::EdgeId>* matched_out,
                                 std::size_t* work = nullptr,
                                 std::size_t* depth = nullptr) {
   ScratchArena arena;
   return greedy_match_rounds(pool, std::span<const graph::EdgeId>(active),
-                             pri, taken_by, min_edge, matched_out, arena,
-                             work, depth);
+                             pri, vstate, matched_out, arena, work, depth);
 }
 
 // Static maximal matching over `ids` with fresh priorities drawn from
@@ -163,11 +221,9 @@ inline MatchResult parallel_greedy_match(const graph::EdgePool& pool,
   parallel::parallel_for(0, ids.size(), [&](std::size_t i) {
     r.samples[ids[i]] = parmatch::hash64(seed, ids[i]);
   });
-  std::vector<EdgeId> taken_by(pool.vertex_bound(), kInvalidEdge);
-  std::vector<EdgeId> min_edge(pool.vertex_bound(), kInvalidEdge);
+  std::vector<VertexHot> vstate(pool.vertex_bound());
   r.rounds = greedy_match_rounds(
-      pool, ids, [&](EdgeId e) { return r.samples[e]; }, taken_by, min_edge,
-      &r.matched);
+      pool, ids, [&](EdgeId e) { return r.samples[e]; }, vstate, &r.matched);
   std::sort(r.matched.begin(), r.matched.end());
   // Eliminators: for an unmatched edge, the minimum-priority matched edge at
   // any of its vertices (it exists, else the edge would have matched).
@@ -175,7 +231,7 @@ inline MatchResult parallel_greedy_match(const graph::EdgePool& pool,
     EdgeId e = ids[i];
     EdgeId elim = kInvalidEdge;
     for (graph::VertexId v : pool.vertices(e)) {
-      EdgeId t = taken_by[v];
+      EdgeId t = vstate[v].taken_by;
       if (t == kInvalidEdge) continue;
       if (t == e) {
         elim = e;

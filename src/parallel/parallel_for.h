@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <utility>
 
+#include "parallel/cost_model.h"
 #include "parallel/scheduler.h"
 
 namespace parmatch::parallel {
@@ -37,12 +38,20 @@ inline std::size_t default_grain(std::size_t n) {
   return g < 2048 ? g : 2048;
 }
 
-// f(begin, end) over [lo, hi) in chunks.
+// f(begin, end) over [lo, hi) in chunks. Adaptive: when the cost model says
+// a phase of this size cannot amortize the fork/join launch
+// (parallel/cost_model.h), the whole range is delivered as one inline chunk
+// on the calling thread -- same contract as the 1-worker fast path, so the
+// blocked primitives need no changes.
 template <typename F>
 void parallel_for_blocked(std::size_t lo, std::size_t hi, F&& f,
                           std::size_t grain = 0) {
   if (hi <= lo) return;
   std::size_t n = hi - lo;
+  if (run_phase_seq(n)) {
+    f(lo, hi);
+    return;
+  }
   if (grain == 0) grain = default_grain(n);
   Scheduler::instance().run(n, grain, [lo, &f](std::size_t b, std::size_t e) {
     f(lo + b, lo + e);

@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "parallel/parallel_for.h"
@@ -120,6 +121,60 @@ std::span<B> pack_index2(std::size_t n, KeepFn&& keep, MapAFn&& map_a,
       },
       grain);
   return out_b;
+}
+
+// Fused dual-class pack: splits [0, n) into TWO packed outputs by a 3-way
+// class mark (0 = drop, 1 = first output, 2 = second output) with one
+// blocked count pass and one scatter pass -- half the launches of two
+// back-to-back pack_index calls over the same marks (insert P3's
+// candidate/stealer split). Both outputs preserve index order.
+template <typename T, typename MapFn>
+std::pair<std::span<T>, std::span<T>> pack_index_split(
+    std::size_t n, std::span<const std::uint8_t> cls, MapFn&& map,
+    ScratchArena& arena) {
+  if (n == 0) return {};
+  std::size_t grain = parallel::default_grain(n);
+  std::size_t blocks = (n + grain - 1) / grain;
+  auto c1 = arena.alloc<std::size_t>(blocks);
+  auto c2 = arena.alloc<std::size_t>(blocks);
+  // Zero first: the sequential fast path delivers one [0, n) chunk.
+  std::fill(c1.begin(), c1.end(), std::size_t{0});
+  std::fill(c2.begin(), c2.end(), std::size_t{0});
+  parallel::parallel_for_blocked(
+      0, n,
+      [&](std::size_t b, std::size_t e) {
+        std::size_t a = 0, z = 0;
+        for (std::size_t i = b; i < e; ++i) {
+          a += cls[i] == 1 ? 1 : 0;
+          z += cls[i] == 2 ? 1 : 0;
+        }
+        c1[b / grain] = a;
+        c2[b / grain] = z;
+      },
+      grain);
+  std::size_t t1 = 0, t2 = 0;
+  for (std::size_t i = 0; i < blocks; ++i) {
+    std::size_t a = c1[i], z = c2[i];
+    c1[i] = t1;
+    c2[i] = t2;
+    t1 += a;
+    t2 += z;
+  }
+  auto out1 = arena.alloc<T>(t1);
+  auto out2 = arena.alloc<T>(t2);
+  parallel::parallel_for_blocked(
+      0, n,
+      [&](std::size_t b, std::size_t e) {
+        std::size_t p1 = c1[b / grain], p2 = c2[b / grain];
+        for (std::size_t i = b; i < e; ++i) {
+          if (cls[i] == 1)
+            out1[p1++] = map(i);
+          else if (cls[i] == 2)
+            out2[p2++] = map(i);
+        }
+      },
+      grain);
+  return {out1, out2};
 }
 
 // Filter for expensive predicates: evaluates keep exactly once per element

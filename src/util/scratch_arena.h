@@ -71,7 +71,22 @@ class ScratchArena {
 
   static constexpr std::size_t kMinBlock = 1u << 16;  // 64 KiB
 
+  // Hot path, inlined at every alloc<T>: the current block almost always
+  // fits (blocks are 64 KiB+ and batch scratch is small), so the common
+  // case is one bump with no loop.
   void* alloc_bytes(std::size_t bytes, std::size_t align) {
+    if (cur_ < blocks_.size()) [[likely]] {
+      Block& b = blocks_[cur_];
+      std::size_t at = round_up(b.used, align);
+      if (at + bytes <= b.size) [[likely]] {
+        b.used = at + bytes;
+        return b.mem.get() + at;
+      }
+    }
+    return alloc_bytes_slow(bytes, align);
+  }
+
+  void* alloc_bytes_slow(std::size_t bytes, std::size_t align) {
     // Find a block with room, starting at the current one (earlier blocks
     // were exhausted for this cycle; later ones are leftovers from a
     // previous, larger cycle).

@@ -1,13 +1,18 @@
-// Thread-count determinism (DESIGN.md S7): the batch pipeline keys every
-// random draw by data (batch epoch, vertex, settle round), never by worker,
-// so for a fixed seed the dynamic matching after EVERY batch -- the exact
-// matched ids, plus the work/sample counters -- must be bit-identical for
-// PARMATCH_NUM_THREADS=1, 2, and hardware concurrency.
+// Thread-count AND execution-mode determinism (DESIGN.md S7/S11): the
+// batch pipeline keys every random draw by data (batch epoch, vertex,
+// settle round), never by worker, and the adaptive engine's per-phase
+// strategy choice (fused sequential vs work-stealing) never changes
+// results -- so for a fixed seed the dynamic matching after EVERY batch,
+// plus the work/sample/depth counters, must be bit-identical for
+// PARMATCH_NUM_THREADS=1, 2, and hardware concurrency, crossed with
+// PARMATCH_EXEC_MODE=adaptive/sequential/parallel and a mid-range pinned
+// PARMATCH_CUTOVER (which makes adaptive mode mix both strategies inside
+// single batches).
 //
 // The worker count is frozen at first scheduler use, so one process cannot
 // observe two counts: the parent test re-executes this binary (filtered to
-// the Child test below) once per thread count and compares the per-batch
-// fingerprint lines the children print.
+// the Child test below) once per (threads, mode) combination and compares
+// the per-batch fingerprint lines the children print.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -91,15 +96,17 @@ std::string self_path() {
   return buf;
 }
 
-std::vector<std::string> run_child(int threads) {
+// `mode_env` is prepended verbatim: "" for defaults, or e.g.
+// "PARMATCH_EXEC_MODE=sequential" / "... PARMATCH_CUTOVER=8".
+std::vector<std::string> run_child(int threads, const std::string& mode_env) {
   std::string self = self_path();
   if (self.empty()) return {};
   char cmd[4500];
   std::snprintf(cmd, sizeof(cmd),
-                "PARMATCH_DET_CHILD=1 PARMATCH_NUM_THREADS=%d "
+                "%s PARMATCH_DET_CHILD=1 PARMATCH_NUM_THREADS=%d "
                 "'%s' --gtest_filter=ThreadDeterminism.Child "
                 "2>/dev/null",
-                threads, self.c_str());
+                mode_env.c_str(), threads, self.c_str());
   FILE* p = popen(cmd, "r");
   if (!p) return {};
   std::vector<std::string> lines;
@@ -110,7 +117,7 @@ std::vector<std::string> run_child(int threads) {
   return lines;
 }
 
-TEST(ThreadDeterminism, MatchingIdenticalAcrossThreadCounts) {
+TEST(ThreadDeterminism, MatchingIdenticalAcrossThreadCountsAndExecModes) {
   if (std::getenv("PARMATCH_DET_CHILD") != nullptr) GTEST_SKIP();
 #ifndef __linux__
   GTEST_SKIP() << "re-exec via /proc/self/exe is linux-only";
@@ -118,16 +125,30 @@ TEST(ThreadDeterminism, MatchingIdenticalAcrossThreadCounts) {
   unsigned hw = std::thread::hardware_concurrency();
   std::vector<int> counts{1, 2};
   if (hw > 2) counts.push_back(static_cast<int>(hw));
-  auto reference = run_child(counts[0]);
+  // Every execution policy the engine can take, including an adaptive run
+  // with a pinned mid-range cutover so single batches mix the fused and
+  // forked strategies phase by phase.
+  const std::vector<std::string> modes{
+      "PARMATCH_EXEC_MODE=adaptive",
+      "PARMATCH_EXEC_MODE=sequential",
+      "PARMATCH_EXEC_MODE=parallel",
+      "PARMATCH_EXEC_MODE=adaptive PARMATCH_CUTOVER=8",
+  };
+  auto reference = run_child(counts[0], modes[0]);
   ASSERT_FALSE(reference.empty()) << "child produced no fingerprints";
   // Both scenarios fingerprint every batch.
   ASSERT_GT(reference.size(), 100u);
-  for (std::size_t c = 1; c < counts.size(); ++c) {
-    auto got = run_child(counts[c]);
-    ASSERT_EQ(got.size(), reference.size()) << "threads=" << counts[c];
-    for (std::size_t i = 0; i < reference.size(); ++i)
-      EXPECT_EQ(got[i], reference[i])
-          << "first divergence at line " << i << " for threads=" << counts[c];
+  for (int threads : counts) {
+    for (const std::string& mode : modes) {
+      if (threads == counts[0] && mode == modes[0]) continue;
+      auto got = run_child(threads, mode);
+      ASSERT_EQ(got.size(), reference.size())
+          << "threads=" << threads << " " << mode;
+      for (std::size_t i = 0; i < reference.size(); ++i)
+        EXPECT_EQ(got[i], reference[i])
+            << "first divergence at line " << i << " for threads=" << threads
+            << " " << mode;
+    }
   }
 }
 
