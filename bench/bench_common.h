@@ -1,10 +1,11 @@
 // Shared helpers for the experiment benches (DESIGN.md Section 4).
 //
-// The experiment harnesses E1-E4 and E6-E10 are standalone table printers:
-// they measure amortized quantities across whole update sequences (multiple
-// batches, warm structures), which does not fit the google-benchmark
-// iteration model; micro benches and the static-matching experiment (E5)
-// use google-benchmark directly.
+// The experiment harnesses E1-E4, E6-E12, and the scheduler micro bench
+// are standalone table printers: they measure amortized or percentile
+// quantities across whole update sequences (multiple batches, warm
+// structures, open-loop streams), which does not fit the google-benchmark
+// iteration model; the other micro benches and the static-matching
+// experiment (E5) use google-benchmark directly.
 #pragma once
 
 #include <cctype>
@@ -13,6 +14,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gen/workloads.h"
@@ -70,6 +72,20 @@ class JsonSink {
   }
 
   bool enabled() const { return !path_.empty(); }
+
+  // Extra run-configuration fields emitted at the top level of the json
+  // document (numbers stay numbers). Open-loop benches MUST note their
+  // arrival model and target rate here, so recorded BENCH_*.json A/Bs stay
+  // self-describing: a latency figure without the offered-load model that
+  // produced it is not comparable across runs.
+  void note(const std::string& key, const std::string& value) {
+    for (auto& kv : notes_)
+      if (kv.first == key) {
+        kv.second = value;
+        return;
+      }
+    notes_.emplace_back(key, value);
+  }
 
   void begin_table(const std::vector<std::string>& headers) {
     if (!enabled()) return;
@@ -153,11 +169,20 @@ class JsonSink {
     }
     std::fprintf(f,
                  "{\"bench\":\"%s\",\"seed\":%llu,\"threads\":%d,"
-                 "\"build\":\"%s\",\"sanitizer\":\"%s\",\"exec_mode\":\"%s\","
-                 "\"tables\":[",
+                 "\"build\":\"%s\",\"sanitizer\":\"%s\",\"exec_mode\":\"%s\"",
                  name_.c_str(), static_cast<unsigned long long>(seed_),
                  parmatch::parallel::num_workers(), build_type(), sanitizer(),
                  exec_mode_name());
+    for (const auto& [key, value] : notes_) {
+      std::fprintf(f, ",\"");
+      for (char ch : key) {
+        if (ch == '"' || ch == '\\') std::fputc('\\', f);
+        std::fputc(ch, f);
+      }
+      std::fprintf(f, "\":");
+      emit_cell(f, value);
+    }
+    std::fprintf(f, ",\"tables\":[");
     for (std::size_t t = 0; t < tables_.size(); ++t) {
       const TableRec& tr = tables_[t];
       std::fprintf(f, "%s{\"headers\":[", t ? "," : "");
@@ -185,6 +210,7 @@ class JsonSink {
   std::string name_;
   std::string path_;
   std::uint64_t seed_ = 0;
+  std::vector<std::pair<std::string, std::string>> notes_;
   std::vector<TableRec> tables_;
 };
 

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Fails on dead intra-repo links in the markdown docs (CI docs job).
+
+Checks every [text](target) link in the given markdown files (default:
+README.md, DESIGN.md, ARCHITECTURE.md):
+  * external schemes (http/https/mailto) are skipped;
+  * a relative target must exist on disk (resolved against the linking
+    file's directory);
+  * a #fragment pointing into a markdown file must match a heading's
+    GitHub-style anchor in that file (bare #fragment = same file).
+
+Usage:  check_docs_links.py [FILE.md ...]
+"""
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor slug: lowercase, drop punctuation,
+    spaces to dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    anchors = set()
+    in_code = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(github_anchor(m.group(1)))
+    return anchors
+
+
+def links_of(path: Path):
+    in_code = False
+    for ln, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield ln, m.group(1)
+
+
+def main() -> None:
+    files = [Path(a) for a in sys.argv[1:]] or [
+        Path("README.md"), Path("DESIGN.md"), Path("ARCHITECTURE.md")]
+    errors = []
+    for f in files:
+        if not f.is_file():
+            errors.append(f"{f}: file to check does not exist")
+            continue
+        for ln, target in links_of(f):
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                continue  # external scheme
+            path_part, _, frag = target.partition("#")
+            dest = f if not path_part else (f.parent / path_part)
+            if not dest.exists():
+                errors.append(f"{f}:{ln}: dead link -> {target}")
+                continue
+            if frag and dest.suffix == ".md":
+                if github_anchor(frag) not in anchors_of(dest):
+                    errors.append(
+                        f"{f}:{ln}: dead anchor -> {target}")
+    if errors:
+        print("\n".join(errors))
+        sys.exit(f"FAIL: {len(errors)} dead intra-repo link(s)")
+    print(f"OK: {len(files)} file(s), all intra-repo links resolve")
+
+
+if __name__ == "__main__":
+    main()

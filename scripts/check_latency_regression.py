@@ -1,56 +1,93 @@
 #!/usr/bin/env python3
-"""CI latency-regression gate for the small-batch serving regime (E11).
+"""CI latency-regression gate for the serving regimes (E11 small-batch,
+E12 open-loop ingest-to-commit).
 
-Compares a fresh `bench_e11_latency --json` run against the committed
-`BENCH_baseline.json` e11 entry and fails when the median (p50) per-batch
-latency at the probed batch size regressed by more than the allowed factor.
-The factor (default 1.5x) absorbs machine variance between the recording
-container and CI runners; a genuine reintroduction of the per-batch
-scheduler tax (the >2x cliff this gate exists for) clears it easily.
+Compares a fresh `--json` bench run against the committed
+`BENCH_baseline.json` entry for the same bench and fails when the gated
+metric regressed by more than the allowed factor. The factor absorbs
+machine variance between the recording container and CI runners; the
+cliffs these gates exist for (a reintroduced per-batch scheduler tax, a
+serving front-end that stops keeping up with its offered rate) clear any
+reasonable factor easily.
 
-Usage:
-  check_latency_regression.py NEW_JSON BASELINE_JSON [--k 16] [--factor 1.5]
+The row is selected with repeatable --where column=value constraints and
+the gated column with --metric, so one script gates any table bench:
+
+  check_latency_regression.py NEW.json BENCH_baseline.json \
+      --bench e11 --metric p50_us --where k=16 --factor 1.5
+  check_latency_regression.py NEW.json BENCH_baseline.json \
+      --bench e12 --metric p50_us --where arrival=poisson \
+      --where rate=1000000 --factor 3.0
+
+--k N is shorthand for the historical E11 call (--bench e11 --where k=N).
 """
 import argparse
 import json
 import sys
 
 
-def p50_at_k(doc: dict, k: int) -> float:
+def cell_matches(cell, want: str) -> bool:
+    """String-compare, with numeric fallback so 16 == "16" == "16.0"."""
+    if str(cell) == want:
+        return True
+    try:
+        return float(cell) == float(want)
+    except (TypeError, ValueError):
+        return False
+
+
+def metric_at(doc: dict, metric: str, where: list) -> float:
     for table in doc["tables"]:
         headers = table["headers"]
-        if "k" not in headers or "p50_us" not in headers:
+        if metric not in headers:
             continue
-        ki, pi = headers.index("k"), headers.index("p50_us")
+        if any(col not in headers for col, _ in where):
+            continue
+        mi = headers.index(metric)
         for row in table["rows"]:
-            if int(row[ki]) == k:
-                return float(row[pi])
-    raise SystemExit(f"error: no k={k} row in the e11 table")
+            if all(cell_matches(row[headers.index(c)], v) for c, v in where):
+                return float(row[mi])
+    cond = ", ".join(f"{c}={v}" for c, v in where) or "(any row)"
+    raise SystemExit(f"error: no row with {cond} and column {metric}")
 
 
 def main() -> None:
     ap = argparse.ArgumentParser()
     ap.add_argument("new_json")
     ap.add_argument("baseline_json")
-    ap.add_argument("--k", type=int, default=16)
+    ap.add_argument("--bench", default="e11",
+                    help="entry under 'benches' in the baseline document")
+    ap.add_argument("--metric", default="p50_us", help="gated column")
+    ap.add_argument("--where", action="append", default=[],
+                    metavar="COL=VAL", help="row constraint (repeatable)")
+    ap.add_argument("--k", type=int, default=None,
+                    help="shorthand for --bench e11 --where k=N")
     ap.add_argument("--factor", type=float, default=1.5)
     args = ap.parse_args()
+
+    where = [tuple(w.split("=", 1)) for w in args.where]
+    if args.k is not None:
+        where.append(("k", str(args.k)))
+    if not where:
+        where = [("k", "16")]
 
     with open(args.new_json) as f:
         new_doc = json.load(f)
     with open(args.baseline_json) as f:
-        baseline = json.load(f)["benches"]["e11"]
+        baseline = json.load(f)["benches"][args.bench]
 
-    new_p50 = p50_at_k(new_doc, args.k)
-    base_p50 = p50_at_k(baseline, args.k)
-    ratio = new_p50 / base_p50
+    new_val = metric_at(new_doc, args.metric, where)
+    base_val = metric_at(baseline, args.metric, where)
+    cond = ", ".join(f"{c}={v}" for c, v in where)
+    ratio = new_val / base_val
     print(
-        f"e11 k={args.k}: fresh p50 {new_p50:.3f} us vs committed baseline "
-        f"{base_p50:.3f} us -> x{ratio:.2f} (limit x{args.factor})"
+        f"{args.bench} [{cond}]: fresh {args.metric} {new_val:.3f} vs "
+        f"committed baseline {base_val:.3f} -> x{ratio:.2f} "
+        f"(limit x{args.factor})"
     )
     if ratio > args.factor:
         sys.exit(
-            f"FAIL: small-batch latency regressed x{ratio:.2f} > "
+            f"FAIL: {args.bench} {args.metric} regressed x{ratio:.2f} > "
             f"x{args.factor} against BENCH_baseline.json"
         )
     print("OK")

@@ -394,6 +394,22 @@ class DynamicMatcher {
     return pool_.live(id) && vh_[pool_.vertices(id)[0]].taken_by == id;
   }
 
+  // The matched edge taking vertex v, or kInvalidEdge when v is free (or
+  // has never been seen). The per-vertex read the serving layer's snapshot
+  // publisher (serve/service.h) republishes after each batch.
+  EdgeId match_of(VertexId v) const {
+    return v < vh_.size() ? vh_[v].taken_by : kInvalid;
+  }
+
+  // Optional matching-delta hook: when set, every vertex whose taken_by
+  // changes (unmatch or commit) is appended to the sink, so a caller can
+  // mirror the matching incrementally in O(touched) instead of O(V) per
+  // batch. Duplicates are possible (a vertex freed then rematched in one
+  // batch appears twice); read the final state through match_of. The sink
+  // is appended from the sequential bookkeeping sites only, never from
+  // inside a forked phase, and a null sink (the default) costs nothing.
+  void set_delta_sink(std::vector<VertexId>* sink) { delta_sink_ = sink; }
+
   std::size_t matched_count() const { return matched_edges_.size(); }
   const graph::EdgePool& pool() const { return pool_; }
   const Config& config() const { return cfg_; }
@@ -528,6 +544,9 @@ class DynamicMatcher {
           });
     }
     for (EdgeId e : winners) matched_add(e);
+    if (delta_sink_)
+      for (EdgeId e : winners)
+        for (VertexId v : pool_.vertices(e)) delta_sink_->push_back(v);
   }
 
   // Frees e's vertices into the batch's pending-settle set (ws_.freed).
@@ -536,6 +555,7 @@ class DynamicMatcher {
       if (vh_[v].taken_by == e) {
         vh_[v].taken_by = kInvalid;
         ws_.freed.push_back(v);
+        if (delta_sink_) delta_sink_->push_back(v);
       }
     }
     std::uint32_t idx = ehot_[e].matched_pos;
@@ -1182,6 +1202,7 @@ class DynamicMatcher {
   CumulativeStats stats_;
   BatchStats batch_;
   BatchWorkspace ws_;
+  std::vector<VertexId>* delta_sink_ = nullptr;  // serve-layer mirror hook
 
   std::vector<std::uint64_t> pri_;       // id -> current sample
   std::vector<EdgeHot> ehot_;            // id -> packed bloat + list state

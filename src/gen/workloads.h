@@ -11,6 +11,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -92,6 +93,59 @@ inline Workload churn(graph::EdgeBatch base, std::size_t batch,
     w.steps.push_back(std::move(step));
   }
   return w;
+}
+
+// One update of a flattened script: which master edge, and which way.
+struct Update {
+  bool is_insert = true;
+  std::size_t edge = 0;  // index into Workload::master
+};
+
+// Flattens a stepped script into a per-update stream, preserving order --
+// the shape the serving front-end (serve/service.h) ingests: the open-loop
+// benches replay a flattened churn script one update at a time and let the
+// batch former re-form batches by arrival, not by script step.
+inline std::vector<Update> flatten(const Workload& w) {
+  std::vector<Update> out;
+  out.reserve(w.total_updates());
+  for (const Step& s : w.steps)
+    for (std::size_t i : s.edges) out.push_back(Update{s.is_insert, i});
+  return out;
+}
+
+// Arrival models for the open-loop serving benches (E12). Offsets are
+// nanoseconds from stream start; deterministic in (n, rate, model, seed).
+enum class ArrivalModel { kPoisson, kBursty };
+
+// kPoisson: iid exponential inter-arrival gaps at `rate` updates/s.
+// kBursty: on/off-modulated Poisson -- arrivals only during the first
+// `duty` fraction of each `period_us` window, at rate/duty, so the
+// long-run mean rate is still `rate` but the instantaneous offered rate is
+// 1/duty times higher (the queue-absorption stress case).
+inline std::vector<std::uint64_t> arrival_times_ns(
+    std::size_t n, double rate, ArrivalModel model, std::uint64_t seed,
+    double duty = 0.25, double period_us = 4000.0) {
+  std::vector<std::uint64_t> out(n);
+  if (n == 0 || rate <= 0) return out;
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 0xA12);
+  double lambda = model == ArrivalModel::kBursty ? rate / duty : rate;
+  double period_ns = period_us * 1000.0;
+  double on_ns = period_ns * duty;
+  double t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Exponential gap via inverse CDF; clamp u away from 0.
+    double u = rng.next_double();
+    if (u < 1e-12) u = 1e-12;
+    t += -std::log(u) / lambda * 1e9;
+    if (model == ArrivalModel::kBursty) {
+      // Fold any arrival past the on-phase into the next period's start.
+      double phase = t - std::floor(t / period_ns) * period_ns;
+      if (phase >= on_ns)
+        t += period_ns - phase;
+    }
+    out[i] = static_cast<std::uint64_t>(t);
+  }
+  return out;
 }
 
 // Streams the master edges through a window of `window` batches: insert

@@ -200,4 +200,27 @@ inline bool run_phase_seq(std::size_t n) {
   }
 }
 
+// The smallest phase size at which the work-stealing path is predicted to
+// beat inline execution -- the dual question to run_phase_seq, asked by the
+// serving layer's batch former (serve/batch_former.h, DESIGN.md S12): once
+// a forming window reaches this size, waiting longer buys no per-update
+// throughput (the fork/join path already amortizes its launch), it only
+// adds ingest-to-commit latency, so the former flushes. Returns 0 when
+// there is no such size (1-worker pool, or forced-sequential mode): then
+// only the deadline and max-batch criteria flush.
+inline std::size_t parallel_break_even() {
+  if (Scheduler::instance().workers() == 1) return 0;
+  switch (exec_mode()) {
+    case ExecMode::kSequential:
+      return 0;
+    case ExecMode::kParallel:
+      return 1;
+    case ExecMode::kAdaptive:
+    default: {
+      std::size_t cut = CostModel::instance().phase_cutover();
+      return cut == 0 ? 1 : cut + 1;
+    }
+  }
+}
+
 }  // namespace parmatch::parallel

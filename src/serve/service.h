@@ -1,0 +1,519 @@
+// serve/service.h -- the open-loop serving front-end (DESIGN.md S12): the
+// first layer above the matcher, turning an asynchronous stream of
+// insert/delete requests from many producer threads into the batches the
+// batch-dynamic structure consumes.
+//
+//   producers --> UpdateQueue (MPSC ring) --> drain thread:
+//       BatchFormer window -> conflict resolution -> DynamicMatcher
+//       insert_edges / delete_edges -> snapshot publish
+//
+// Producer API: submit_insert returns a TICKET immediately (the edge id is
+// not known until the batch applies); submit_delete revokes a ticket. A
+// producer may delete a ticket only after its submit_insert returned --
+// FIFO ingestion then guarantees the drain sees the insert first, and a
+// same-window pair annihilates in the former. The ticket -> edge-id table
+// lives on the drain thread; producers never touch matcher state.
+//
+// Snapshot reads: is_matched / match_of / matched_count are served from a
+// service-owned array of atomics, safe to call from any thread at any
+// time. The drain thread republishes only the vertices a batch touched
+// (the matcher reports them through its delta sink -- O(batch), not O(V))
+// under an epoch seqlock: epoch goes odd -> cells -> even. Single-word
+// reads need no protocol (each cell is one atomic word); a multi-word
+// consistent view uses read_consistent(), which retries while the epoch is
+// odd or moved. Every access is an atomic on both sides, so the protocol
+// is TSan-clean by construction, not by suppression.
+//
+// Shutdown: stop() flushes the queue and the window before joining, so
+// every submitted update is applied exactly once; drain_until_idle() is
+// the test/bench barrier (submitted == completed).
+//
+// Determinism contract (DESIGN.md S2/S12): the matcher below is
+// bit-identical for a fixed batch sequence, but the PARTITION of the
+// stream into batches is timing-dependent here -- two runs of the same
+// stream may form different windows and so different (all valid, all
+// maximal) matchings. Tests therefore compare the final live GRAPH against
+// a serial replay and validate the matching against recompute, rather than
+// expecting bit-equal matchings.
+//
+// Complexity contract: submit_* is O(1) plus backpressure spin when the
+// ring is full; a drained window of w requests costs the matcher's batch
+// price plus O(w log w) conflict resolution; snapshot publish is O(batch
+// touched vertices); reads are O(1). An idle service parks its drain
+// thread (timed condition-variable wait after a bounded spin) and costs
+// ~zero CPU.
+//
+// Known limitation (ROADMAP open item): two structures grow with the
+// STREAM, not with the live graph. The ticket -> edge-id table is a dense
+// vector indexed by ticket and tickets are never recycled, so it grows
+// one word per insert ever submitted (~8 MB per million inserts); and
+// with ServiceConfig::record_latencies (the default, intended for the
+// bench/test lifetimes this layer currently serves) ServiceStats keeps
+// one latency sample per committed update and one size per window. Fine
+// for bounded runs; a long-lived deployment needs ticket recycling
+// (epoch'd ticket namespaces or a tombstoned open-addressing map) and
+// record_latencies=false (or a reservoir), which is its own PR.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "dyn/dynamic_matcher.h"
+#include "graph/edge.h"
+#include "serve/batch_former.h"
+#include "serve/update_queue.h"
+
+namespace parmatch::serve {
+
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct ServiceConfig {
+  dyn::Config matcher;
+  FormerConfig former;
+  std::size_t queue_capacity = 1u << 16;
+  // Snapshot capacity: one atomic word per vertex, fixed at construction
+  // so reads never race a reallocation. Submitting a vertex >= this bound
+  // is a caller error (asserted in debug builds).
+  graph::VertexId max_vertices = 1u << 20;
+  // Record one latency sample per committed update (the serving benches'
+  // p50/p99 source) -- stats memory then grows with the stream length
+  // (see the known-limitation note in the header). Off: only counters.
+  bool record_latencies = true;
+
+  static ServiceConfig from_env() {
+    ServiceConfig c;
+    c.former = FormerConfig::from_env();
+    return c;
+  }
+};
+
+// Drain-thread-owned observables. Stable to read only when the service is
+// idle (after stop() or drain_until_idle() with producers quiesced).
+struct ServiceStats {
+  std::vector<double> latencies_us;       // per committed update
+  std::vector<std::size_t> batch_updates; // updates per applied window
+  std::size_t batches = 0;
+  std::size_t applied_inserts = 0;
+  std::size_t applied_deletes = 0;
+  std::size_t annihilated = 0;      // insert+delete pairs absorbed in-window
+  std::size_t deduped_deletes = 0;  // duplicate deletes collapsed
+  std::size_t dropped_deletes = 0;  // dead/unknown tickets skipped
+  std::size_t flush_full = 0;
+  std::size_t flush_cost = 0;
+  std::size_t flush_deadline = 0;
+  std::size_t flush_drain = 0;
+  std::size_t queue_hwm = 0;        // high-water mark of approx_size
+  std::uint64_t first_enqueue_ns = 0;
+  std::uint64_t last_commit_ns = 0;
+
+  void clear() { *this = ServiceStats{}; }
+};
+
+class MatchService {
+  using VertexId = graph::VertexId;
+  using EdgeId = graph::EdgeId;
+
+ public:
+  explicit MatchService(const ServiceConfig& cfg)
+      : cfg_(capped(cfg)),
+        dm_(cfg_.matcher),
+        queue_(cfg_.queue_capacity),
+        former_(cfg_.former),
+        snap_match_(
+            std::make_unique<std::atomic<EdgeId>[]>(cfg_.max_vertices)) {
+    for (VertexId v = 0; v < cfg_.max_vertices; ++v)
+      snap_match_[v].store(graph::kInvalidEdge, std::memory_order_relaxed);
+    dm_.set_delta_sink(&delta_);
+  }
+
+  ~MatchService() { stop(); }
+
+  MatchService(const MatchService&) = delete;
+  MatchService& operator=(const MatchService&) = delete;
+
+  // ---- lifecycle -------------------------------------------------------
+
+  void start() {
+    if (running_) return;
+    stop_.store(false, std::memory_order_release);
+    running_ = true;
+    drain_ = std::thread([this] { drain_loop(); });
+  }
+
+  // Drains everything already submitted, then joins. Idempotent.
+  void stop() {
+    if (!running_) return;
+    stop_.store(true, std::memory_order_release);
+    wake_drain();
+    drain_.join();
+    running_ = false;
+  }
+
+  // Blocks until every update submitted so far has been applied (or
+  // absorbed). Producers may keep submitting; the barrier covers only
+  // submissions that happened-before the call.
+  void drain_until_idle() const {
+    std::uint64_t target = submitted_.load(std::memory_order_acquire);
+    while (completed_.load(std::memory_order_acquire) < target)
+      std::this_thread::yield();
+  }
+
+  // Clears the stats (prewarm separation in the benches). Blocks until the
+  // drain thread acknowledges; call only from outside the drain thread,
+  // ideally when idle.
+  void reset_stats() {
+    if (!running_) {
+      stats_.clear();
+      return;
+    }
+    reset_pending_.store(true, std::memory_order_release);
+    wake_drain();
+    while (reset_pending_.load(std::memory_order_acquire))
+      std::this_thread::yield();
+  }
+
+  // ---- producer API (any thread) ---------------------------------------
+
+  // Submits one edge insertion; returns its ticket. Blocks (spin + yield)
+  // while the ring is full -- bounded memory, backpressure to the caller.
+  std::uint64_t submit_insert(std::span<const VertexId> vs) {
+    assert(vs.size() >= 1 && vs.size() <= UpdateRequest::kMaxRank &&
+           vs.size() <= cfg_.matcher.max_rank);
+    UpdateRequest r;
+    r.ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+    // The clamp backs the assert up in release builds: an oversized span
+    // is a contract violation either way, but it must never become an
+    // out-of-bounds write -- neither into the inline endpoint array here
+    // nor into the pool's fixed-stride record at apply time.
+    std::size_t cap = cfg_.matcher.max_rank < UpdateRequest::kMaxRank
+                          ? cfg_.matcher.max_rank
+                          : UpdateRequest::kMaxRank;
+    std::size_t n = vs.size() < cap ? vs.size() : cap;
+    r.rank = static_cast<std::uint32_t>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      assert(vs[i] < cfg_.max_vertices);
+      r.v[i] = vs[i];
+    }
+    push(r);
+    return r.ticket;
+  }
+
+  std::uint64_t submit_insert(VertexId u, VertexId v) {
+    VertexId vs[2] = {u, v};
+    return submit_insert(std::span<const VertexId>(vs, 2));
+  }
+
+  // Revokes a previously returned ticket. Must happen after the owning
+  // submit_insert returned; deleting a ticket twice is tolerated (the
+  // second is dropped and counted in ServiceStats::dropped_deletes).
+  void submit_delete(std::uint64_t ticket) {
+    UpdateRequest r;
+    r.ticket = ticket;
+    r.rank = 0;
+    push(r);
+  }
+
+  // ---- snapshot reads (any thread, concurrent with applies) ------------
+
+  // Epoch is even between publishes, odd during one. Single-word reads
+  // below are always safe; bracket multi-word reads with read_consistent.
+  std::uint64_t snapshot_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  // The matched edge taking vertex v in the last published snapshot, or
+  // kInvalidEdge when v is free (or out of snapshot range).
+  EdgeId match_of(VertexId v) const {
+    if (v >= cfg_.max_vertices) return graph::kInvalidEdge;
+    return snap_match_[v].load(std::memory_order_acquire);
+  }
+
+  bool is_matched(VertexId v) const {
+    return match_of(v) != graph::kInvalidEdge;
+  }
+
+  std::size_t matched_count() const {
+    return snap_matched_.load(std::memory_order_acquire);
+  }
+
+  // Runs f() against a single snapshot epoch: retries while a publish is
+  // in flight or one completed mid-read. f must only read through the
+  // accessors above and must be side-effect-free on retry.
+  template <typename F>
+  auto read_consistent(F&& f) const {
+    for (;;) {
+      std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
+      if (e & 1) {
+        std::this_thread::yield();
+        continue;
+      }
+      auto r = f();
+      if (epoch_.load(std::memory_order_seq_cst) == e) return r;
+    }
+  }
+
+  // ---- idle-time inspection (tests / benches) --------------------------
+
+  // The structure underneath. Safe only while the drain thread is idle
+  // (after stop() or a drain_until_idle() with producers quiesced).
+  const dyn::DynamicMatcher& matcher() const { return dm_; }
+
+  // Live edge id of a ticket, kInvalidEdge if never applied or deleted.
+  // Same safety rule as matcher().
+  EdgeId edge_of_ticket(std::uint64_t ticket) const {
+    return ticket < ticket_to_edge_.size()
+               ? ticket_to_edge_[static_cast<std::size_t>(ticket)]
+               : graph::kInvalidEdge;
+  }
+
+  const ServiceStats& stats() const { return stats_; }
+  const ServiceConfig& config() const { return cfg_; }
+
+ private:
+  // The serve layer carries edge endpoints inline in the ring cells, so
+  // the matcher rank it can serve is capped at UpdateRequest::kMaxRank
+  // regardless of what the underlying pool would accept.
+  static ServiceConfig capped(ServiceConfig cfg) {
+    if (cfg.matcher.max_rank > UpdateRequest::kMaxRank)
+      cfg.matcher.max_rank = UpdateRequest::kMaxRank;
+    return cfg;
+  }
+
+ public:
+
+  // Live monitoring counters (any thread).
+  std::uint64_t submitted_updates() const {
+    return submitted_.load(std::memory_order_acquire);
+  }
+  std::uint64_t completed_updates() const {
+    return completed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void push(UpdateRequest& r) {
+    r.t_enqueue_ns = now_ns();
+    // fetch_add BEFORE the ring push: drain_until_idle's target must cover
+    // this request once push() returns.
+    submitted_.fetch_add(1, std::memory_order_acq_rel);
+    std::size_t spins = 0;
+    while (!queue_.try_push(r)) {
+      // Backpressure: the ring is full. Yield so the drain thread gets the
+      // core on oversubscribed machines.
+      if (++spins >= 64) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+    wake_drain();
+  }
+
+  // Cheap on the hot path: one relaxed-ish load; the mutex+notify only
+  // when the drain actually parked.
+  void wake_drain() {
+    if (parked_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lk(park_mu_);
+      park_cv_.notify_one();
+    }
+  }
+
+  // ---- drain thread ----------------------------------------------------
+
+  // Consecutive empty iterations before the drain thread parks on the
+  // condition variable. Large enough that a loaded service never parks
+  // between windows; small enough that an idle service stops burning its
+  // core within microseconds.
+  static constexpr std::size_t kIdleSpinsBeforePark = 4096;
+
+  void drain_loop() {
+    UpdateRequest r;
+    std::size_t idle_spins = 0;
+    for (;;) {
+      // Sample the backlog BEFORE draining it into the window: sampling
+      // after the pop loop would only ever see the >max_batch leftover and
+      // report hwm 0 for any burst the window absorbed.
+      std::size_t qs = queue_.approx_size();
+      if (qs > stats_.queue_hwm) stats_.queue_hwm = qs;
+      bool progressed = false;
+      while (!former_.window_full() && queue_.try_pop(r)) {
+        if (stats_.first_enqueue_ns == 0)
+          stats_.first_enqueue_ns = r.t_enqueue_ns;
+        former_.add(r);
+        progressed = true;
+      }
+
+      bool stopping = stop_.load(std::memory_order_acquire);
+      FlushReason why = FlushReason::kDrain;
+      if (former_.should_flush(now_ns(), &why)) {
+        apply_window(why);
+        progressed = true;
+      } else if (stopping && !former_.empty() && queue_.approx_size() == 0) {
+        apply_window(FlushReason::kDrain);
+        progressed = true;
+      }
+
+      if (reset_pending_.load(std::memory_order_acquire) &&
+          former_.empty()) {
+        stats_.clear();
+        reset_pending_.store(false, std::memory_order_release);
+      }
+
+      if (!progressed) {
+        // Exit only when every SUBMITTED update has completed, not merely
+        // when the ring looks empty: a producer in push() may have bumped
+        // submitted_ without having landed its ring slot yet (the counter
+        // is incremented before the push for exactly this reason), and
+        // exiting then would strand its update and hang any later
+        // drain_until_idle.
+        if (stopping && former_.empty() &&
+            completed_.load(std::memory_order_acquire) ==
+                submitted_.load(std::memory_order_acquire))
+          return;
+        // Truly idle (no window aging toward its deadline): spin briefly,
+        // then park instead of burning the core forever. The park is a
+        // TIMED wait, so even a wakeup lost to the store/load race between
+        // a producer's push and parked_ going up costs one timeout, never
+        // a hang; a pending window keeps the thread yielding instead (its
+        // deadline is the clock that matters there).
+        if (former_.empty() && !stopping &&
+            ++idle_spins >= kIdleSpinsBeforePark) {
+          std::unique_lock<std::mutex> lk(park_mu_);
+          parked_.store(true, std::memory_order_seq_cst);
+          if (queue_.approx_size() == 0 &&
+              !stop_.load(std::memory_order_acquire) &&
+              !reset_pending_.load(std::memory_order_acquire))
+            park_cv_.wait_for(lk, std::chrono::milliseconds(10));
+          parked_.store(false, std::memory_order_seq_cst);
+          // idle_spins stays saturated: a timeout wake with still-nothing
+          // re-parks on the next iteration instead of respinning the full
+          // budget (which would burn ~10% of a core while "idle").
+        } else {
+          std::this_thread::yield();
+        }
+      } else {
+        idle_spins = 0;
+      }
+    }
+  }
+
+  void apply_window(FlushReason why) {
+    former_.form(formed_);
+    delta_.clear();
+
+    if (!formed_.inserts.empty()) {
+      auto ids = dm_.insert_edges(formed_.inserts);
+      std::uint64_t max_ticket = 0;
+      for (std::uint64_t t : formed_.insert_tickets)
+        if (t > max_ticket) max_ticket = t;
+      if (ticket_to_edge_.size() <= max_ticket)
+        ticket_to_edge_.resize(static_cast<std::size_t>(max_ticket) + 1,
+                               graph::kInvalidEdge);
+      for (std::size_t i = 0; i < ids.size(); ++i)
+        ticket_to_edge_[static_cast<std::size_t>(formed_.insert_tickets[i])] =
+            ids[i];
+    }
+
+    del_ids_.clear();
+    for (std::uint64_t t : formed_.delete_tickets) {
+      EdgeId id = t < ticket_to_edge_.size()
+                      ? ticket_to_edge_[static_cast<std::size_t>(t)]
+                      : graph::kInvalidEdge;
+      if (id == graph::kInvalidEdge) {
+        ++stats_.dropped_deletes;
+        continue;
+      }
+      ticket_to_edge_[static_cast<std::size_t>(t)] = graph::kInvalidEdge;
+      del_ids_.push_back(id);
+    }
+    if (!del_ids_.empty())
+      dm_.delete_edges(std::span<const EdgeId>(del_ids_));
+
+    if (!delta_.empty() || formed_.update_count() != 0) publish_snapshot();
+
+    // Commit instant: every request of this window (applied or absorbed)
+    // is now observable through the snapshot.
+    std::uint64_t commit = now_ns();
+    stats_.last_commit_ns = commit;
+    if (cfg_.record_latencies) {
+      auto rec = [&](const std::vector<std::uint64_t>& ts) {
+        for (std::uint64_t t : ts)
+          stats_.latencies_us.push_back(
+              static_cast<double>(commit - t) * 1e-3);
+      };
+      rec(formed_.insert_enqueue_ns);
+      rec(formed_.delete_enqueue_ns);
+      rec(formed_.absorbed_enqueue_ns);
+    }
+    ++stats_.batches;
+    if (cfg_.record_latencies)
+      stats_.batch_updates.push_back(formed_.update_count());
+    stats_.applied_inserts += formed_.inserts.size();
+    stats_.applied_deletes += del_ids_.size();
+    stats_.annihilated += formed_.annihilated;
+    stats_.deduped_deletes += formed_.deduped;
+    switch (why) {
+      case FlushReason::kFull: ++stats_.flush_full; break;
+      case FlushReason::kCostModel: ++stats_.flush_cost; break;
+      case FlushReason::kDeadline: ++stats_.flush_deadline; break;
+      case FlushReason::kDrain: ++stats_.flush_drain; break;
+    }
+    completed_.fetch_add(formed_.raw_requests, std::memory_order_acq_rel);
+  }
+
+  // Epoch seqlock: odd while cells are being rewritten. Only the vertices
+  // the matcher touched this window are republished (delta sink).
+  void publish_snapshot() {
+    std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+    epoch_.store(e + 1, std::memory_order_seq_cst);
+    for (VertexId v : delta_) {
+      if (v >= cfg_.max_vertices) continue;  // outside the snapshot window
+      snap_match_[v].store(dm_.match_of(v), std::memory_order_release);
+    }
+    snap_matched_.store(dm_.matched_count(), std::memory_order_release);
+    epoch_.store(e + 2, std::memory_order_seq_cst);
+  }
+
+  ServiceConfig cfg_;
+  dyn::DynamicMatcher dm_;
+  UpdateQueue queue_;
+  BatchFormer former_;
+  FormedBatch formed_;
+
+  std::thread drain_;
+  bool running_ = false;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> reset_pending_{false};
+  std::mutex park_mu_;               // idle-park handshake
+  std::condition_variable park_cv_;
+  std::atomic<bool> parked_{false};
+
+  std::atomic<std::uint64_t> next_ticket_{0};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+
+  // Drain-thread-owned.
+  std::vector<EdgeId> ticket_to_edge_;
+  std::vector<EdgeId> del_ids_;
+  std::vector<VertexId> delta_;  // matcher's per-window touched vertices
+  ServiceStats stats_;
+
+  // Snapshot (epoch seqlock over atomics; readers on any thread).
+  std::unique_ptr<std::atomic<EdgeId>[]> snap_match_;
+  std::atomic<std::size_t> snap_matched_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace parmatch::serve

@@ -1,0 +1,128 @@
+// serve/update_queue.h -- the lock-light MPSC ingestion queue of the
+// serving front-end (DESIGN.md S12). Many producer threads submit
+// individual insert/delete requests; one consumer (the MatchService drain
+// thread) pops them in FIFO order and hands them to the batch former.
+//
+// The queue is a bounded Vyukov-style ring: one atomic sequence word per
+// cell arbitrates producers against each other and against the consumer,
+// so the hot path is one fetch-style CAS on the tail plus one release
+// store per push and one acquire load plus one release store per pop --
+// no mutex, no allocation, no unbounded growth. A full ring makes
+// try_push fail, which is the service's backpressure signal: producers
+// spin/yield instead of queueing unbounded memory (the open-loop benches
+// count these stalls as offered-rate shortfall rather than hiding them).
+//
+// FIFO matters for correctness, not just fairness: a producer deletes a
+// ticket only after its submit_insert returned, so the insert occupies an
+// earlier ring slot and the consumer always drains an edge's insert
+// before (or in the same window as) its delete. The batch former's
+// conflict resolution (batch_former.h) relies on exactly this.
+//
+// Complexity contract: try_push / try_pop are O(1) with one CAS each;
+// approx_size is O(1) and racy by design (monitoring only). A slot whose
+// producer stalled between claiming and publishing temporarily blocks the
+// consumer at that slot (try_pop returns false), preserving order.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "graph/edge.h"
+
+namespace parmatch::serve {
+
+// One ingested update. Inserts carry the edge's endpoints inline (rank
+// 1..kMaxRank) plus the ticket the service assigned; deletes carry rank 0
+// and the ticket of the insert they revoke. t_enqueue_ns is the
+// steady-clock submit instant -- the start of the ingest-to-commit latency
+// the serving benches report.
+struct UpdateRequest {
+  static constexpr std::size_t kMaxRank = 4;
+
+  std::uint64_t ticket = 0;
+  std::uint64_t t_enqueue_ns = 0;
+  graph::VertexId v[kMaxRank] = {0, 0, 0, 0};
+  std::uint32_t rank = 0;  // 0 = delete, else endpoint count
+
+  bool is_insert() const { return rank != 0; }
+};
+
+class UpdateQueue {
+ public:
+  // Capacity is rounded up to a power of two; the ring is allocated once
+  // at construction and never grows (bounded-memory contract).
+  explicit UpdateQueue(std::size_t capacity) {
+    std::size_t cap = 64;
+    while (cap < capacity) cap <<= 1;
+    cap_ = cap;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const { return cap_; }
+
+  // Multi-producer push. False = ring full (backpressure), retry later.
+  bool try_push(const UpdateRequest& r) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& c = cells_[pos & mask_];
+      std::size_t seq = c.seq.load(std::memory_order_acquire);
+      std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                          static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          break;
+      } else if (dif < 0) {
+        return false;  // the cell still holds an unconsumed older item
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    Cell& c = cells_[pos & mask_];
+    c.req = r;
+    c.seq.store(pos + 1, std::memory_order_release);  // publish to consumer
+    return true;
+  }
+
+  // Single-consumer pop (the drain thread). False = empty, or the next
+  // slot's producer has claimed but not yet published (order preserved).
+  bool try_pop(UpdateRequest& out) {
+    std::size_t h = head_.load(std::memory_order_relaxed);
+    Cell& c = cells_[h & mask_];
+    std::size_t seq = c.seq.load(std::memory_order_acquire);
+    if (seq != h + 1) return false;
+    out = c.req;
+    // Recycle the cell for the producer one lap ahead.
+    c.seq.store(h + cap_, std::memory_order_release);
+    head_.store(h + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Monitoring estimate (queue-growth / high-water-mark reporting); may be
+  // momentarily stale when read concurrently with pushes and pops.
+  std::size_t approx_size() const {
+    std::size_t t = tail_.load(std::memory_order_relaxed);
+    std::size_t h = head_.load(std::memory_order_relaxed);
+    return t > h ? t - h : 0;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::size_t> seq;
+    UpdateRequest req;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t cap_ = 0;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producers
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer-advanced
+};
+
+}  // namespace parmatch::serve

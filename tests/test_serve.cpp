@@ -1,0 +1,518 @@
+// Service-layer tests (DESIGN.md S12): the open-loop serving front-end
+// (serve/update_queue.h, serve/batch_former.h, serve/service.h).
+//
+// What is asserted, per the serving determinism contract: the batch
+// PARTITION the former produces is timing-dependent, so the matching is
+// not expected to be bit-identical between a served stream and a serial
+// replay. What must hold regardless of timing:
+//   * the final live GRAPH equals the serial replay's (every submitted
+//     update applied exactly once, conflicts resolved correctly);
+//   * the service's matching is valid and maximal on that graph
+//     (cross-checked against baseline/recompute.h on the same live set);
+//   * the published snapshot equals the matcher's state once idle;
+//   * snapshot reads racing applies are safe (the TSan target) and a
+//     read_consistent bracket never observes a mid-publish epoch.
+// The former's flush policy and conflict-window semantics are pure
+// functions of (window, clock), so those are unit-tested exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "baseline/recompute.h"
+#include "gen/generators.h"
+#include "gen/workloads.h"
+#include "serve/batch_former.h"
+#include "serve/service.h"
+#include "serve/update_queue.h"
+#include "util/rng.h"
+
+using namespace parmatch;
+using graph::EdgeId;
+using graph::VertexId;
+using graph::kInvalidEdge;
+
+namespace {
+
+serve::UpdateRequest insert_req(std::uint64_t ticket, VertexId u, VertexId v,
+                                std::uint64_t t_ns = 0) {
+  serve::UpdateRequest r;
+  r.ticket = ticket;
+  r.rank = 2;
+  r.v[0] = u;
+  r.v[1] = v;
+  r.t_enqueue_ns = t_ns;
+  return r;
+}
+
+serve::UpdateRequest delete_req(std::uint64_t ticket, std::uint64_t t_ns = 0) {
+  serve::UpdateRequest r;
+  r.ticket = ticket;
+  r.rank = 0;
+  r.t_enqueue_ns = t_ns;
+  return r;
+}
+
+// ---- UpdateQueue ----------------------------------------------------------
+
+TEST(UpdateQueue, FifoAndBoundedCapacity) {
+  serve::UpdateQueue q(64);
+  EXPECT_EQ(q.capacity(), 64u);
+  for (std::uint64_t i = 0; i < 64; ++i)
+    EXPECT_TRUE(q.try_push(insert_req(i, 0, 1)));
+  EXPECT_FALSE(q.try_push(insert_req(99, 0, 1)));  // full: backpressure
+  serve::UpdateRequest r;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(q.try_pop(r));
+    EXPECT_EQ(r.ticket, i);  // FIFO
+  }
+  EXPECT_FALSE(q.try_pop(r));
+  // Recycled cells accept a second lap.
+  EXPECT_TRUE(q.try_push(delete_req(7)));
+  ASSERT_TRUE(q.try_pop(r));
+  EXPECT_EQ(r.rank, 0u);
+  EXPECT_EQ(r.ticket, 7u);
+}
+
+TEST(UpdateQueue, MultiProducerDrainsEveryRequestOnce) {
+  serve::UpdateQueue q(1u << 10);
+  constexpr int kProducers = 4;
+  constexpr std::uint64_t kPer = 5000;
+  std::vector<std::thread> ps;
+  for (int p = 0; p < kProducers; ++p)
+    ps.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPer; ++i) {
+        serve::UpdateRequest r =
+            insert_req(static_cast<std::uint64_t>(p) * kPer + i, 0, 1);
+        while (!q.try_push(r)) std::this_thread::yield();
+      }
+    });
+  std::vector<std::uint64_t> seen;
+  serve::UpdateRequest r;
+  while (seen.size() < kProducers * kPer)
+    if (q.try_pop(r)) seen.push_back(r.ticket);
+  for (auto& t : ps) t.join();
+  std::sort(seen.begin(), seen.end());
+  for (std::uint64_t i = 0; i < kProducers * kPer; ++i)
+    ASSERT_EQ(seen[i], i);  // every ticket exactly once
+}
+
+// ---- BatchFormer: flush policy -------------------------------------------
+
+TEST(BatchFormer, EmptyWindowNeverFlushes) {
+  serve::FormerConfig cfg;
+  cfg.max_delay_us = 1;
+  cfg.cost_flush = 1;  // most aggressive criteria possible
+  cfg.max_batch = 1;
+  serve::BatchFormer f(cfg);
+  EXPECT_TRUE(f.empty());
+  EXPECT_FALSE(f.should_flush(/*now_ns=*/1u << 30));
+  serve::FormedBatch out;
+  f.form(out);  // form on an empty window is a no-op
+  EXPECT_EQ(out.raw_requests, 0u);
+  EXPECT_EQ(out.update_count(), 0u);
+}
+
+TEST(BatchFormer, DeadlineCountsFromOldestEnqueue) {
+  serve::FormerConfig cfg;
+  cfg.max_delay_us = 100;                 // 100'000 ns
+  cfg.cost_flush = 1u << 20;              // out of reach
+  cfg.max_batch = 1u << 20;
+  serve::BatchFormer f(cfg);
+  f.add(insert_req(0, 1, 2, /*t_ns=*/1'000'000));
+  f.add(insert_req(1, 3, 4, /*t_ns=*/1'050'000));
+  serve::FlushReason why;
+  EXPECT_FALSE(f.should_flush(1'099'999, &why));
+  EXPECT_TRUE(f.should_flush(1'100'000, &why));  // oldest hit the deadline
+  EXPECT_EQ(why, serve::FlushReason::kDeadline);
+}
+
+TEST(BatchFormer, CostModelAndMaxBatchFlush) {
+  serve::FormerConfig cfg;
+  cfg.max_delay_us = 1u << 30;
+  cfg.cost_flush = 3;
+  cfg.max_batch = 5;
+  serve::BatchFormer f(cfg);
+  serve::FlushReason why;
+  f.add(insert_req(0, 1, 2));
+  f.add(insert_req(1, 3, 4));
+  EXPECT_FALSE(f.should_flush(0, &why));
+  f.add(insert_req(2, 5, 6));
+  EXPECT_TRUE(f.should_flush(0, &why));  // window reached the break-even
+  EXPECT_EQ(why, serve::FlushReason::kCostModel);
+  f.add(insert_req(3, 7, 8));
+  f.add(insert_req(4, 9, 10));
+  EXPECT_TRUE(f.window_full());
+  EXPECT_TRUE(f.should_flush(0, &why));
+  EXPECT_EQ(why, serve::FlushReason::kFull);  // full outranks cost-model
+}
+
+// ---- BatchFormer: conflict-window semantics ------------------------------
+
+TEST(BatchFormer, InsertThenDeleteOfSameTicketAnnihilates) {
+  serve::FormerConfig cfg;
+  serve::BatchFormer f(cfg);
+  f.add(insert_req(10, 1, 2, 100));
+  f.add(insert_req(11, 3, 4, 110));
+  f.add(delete_req(10, 120));  // revokes ticket 10 inside the window
+  serve::FormedBatch out;
+  f.form(out);
+  EXPECT_EQ(out.raw_requests, 3u);
+  EXPECT_EQ(out.annihilated, 1u);
+  ASSERT_EQ(out.inserts.size(), 1u);  // only ticket 11 survives
+  EXPECT_EQ(out.insert_tickets[0], 11u);
+  EXPECT_TRUE(out.delete_tickets.empty());
+  // Both sides of the pair are stamped for latency accounting.
+  EXPECT_EQ(out.absorbed_enqueue_ns.size(), 2u);
+  EXPECT_TRUE(f.empty());  // window reset
+}
+
+TEST(BatchFormer, DuplicateDeletesCollapseToFirst) {
+  serve::FormerConfig cfg;
+  serve::BatchFormer f(cfg);
+  f.add(delete_req(5, 100));
+  f.add(delete_req(5, 200));
+  f.add(delete_req(6, 300));
+  f.add(delete_req(5, 400));
+  serve::FormedBatch out;
+  f.form(out);
+  EXPECT_EQ(out.raw_requests, 4u);
+  EXPECT_EQ(out.deduped, 2u);
+  ASSERT_EQ(out.delete_tickets.size(), 2u);
+  EXPECT_EQ(out.delete_tickets[0], 5u);
+  EXPECT_EQ(out.delete_enqueue_ns[0], 100u);  // first occurrence kept
+  EXPECT_EQ(out.delete_tickets[1], 6u);
+  EXPECT_EQ(out.absorbed_enqueue_ns.size(), 2u);
+}
+
+TEST(BatchFormer, AnnihilationWithDuplicateDeletes) {
+  serve::FormerConfig cfg;
+  serve::BatchFormer f(cfg);
+  f.add(insert_req(10, 1, 2, 100));
+  f.add(delete_req(10, 110));
+  f.add(delete_req(10, 120));  // double-delete of an annihilated ticket
+  serve::FormedBatch out;
+  f.form(out);
+  EXPECT_EQ(out.annihilated, 1u);
+  EXPECT_EQ(out.update_count(), 0u);
+  EXPECT_EQ(out.absorbed_enqueue_ns.size(), 3u);  // all three stamped once
+}
+
+// ---- MatchService: end-to-end --------------------------------------------
+
+// Replays a flattened churn stream through (a) the service with producers
+// and (b) a serial one-update-per-batch DynamicMatcher, then asserts the
+// final live graphs are identical and the service matching is valid and
+// maximal (recompute cross-check).
+struct StreamResult {
+  std::multiset<std::pair<VertexId, VertexId>> live_edges;
+};
+
+std::pair<VertexId, VertexId> canon(std::span<const VertexId> vs) {
+  VertexId a = vs[0], b = vs[1];
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+TEST(MatchService, SingleProducerEqualsSerialStream) {
+  constexpr VertexId kN = 512;
+  constexpr std::size_t kM = 1536;
+  gen::Workload w = gen::churn(gen::erdos_renyi(kN, kM, 77), 1, 0.5, 78);
+  auto stream = gen::flatten(w);
+
+  // (a) through the service.
+  serve::ServiceConfig cfg;
+  cfg.matcher.seed = 9;
+  cfg.max_vertices = kN;
+  cfg.former.max_delay_us = 50;  // small windows, many flushes
+  serve::MatchService svc(cfg);
+  svc.start();
+  constexpr std::uint64_t kNoTicket = ~0ull;
+  std::vector<std::uint64_t> ticket(w.master.size(), kNoTicket);
+  for (const gen::Update& u : stream) {
+    if (u.is_insert)
+      ticket[u.edge] = svc.submit_insert(w.master.edge(u.edge));
+    else
+      svc.submit_delete(ticket[u.edge]);
+  }
+  svc.drain_until_idle();
+  svc.stop();
+
+  // (b) serial replay: one matcher batch per update.
+  dyn::Config mcfg;
+  mcfg.seed = 9;
+  dyn::DynamicMatcher serial(mcfg);
+  std::vector<EdgeId> live(w.master.size(), kInvalidEdge);
+  for (const gen::Update& u : stream) {
+    if (u.is_insert) {
+      graph::EdgeBatch b;
+      b.add(w.master.edge(u.edge));
+      live[u.edge] = serial.insert_edges(b)[0];
+    } else {
+      serial.delete_edges({live[u.edge]});
+      live[u.edge] = kInvalidEdge;
+    }
+  }
+
+  // Identical final live graphs (as canonical endpoint multisets). A
+  // ticket maps to a live edge iff the serial replay kept it live.
+  std::multiset<std::pair<VertexId, VertexId>> served, replayed;
+  for (std::size_t i = 0; i < w.master.size(); ++i) {
+    EdgeId se = ticket[i] == kNoTicket ? kInvalidEdge
+                                       : svc.edge_of_ticket(ticket[i]);
+    if (live[i] != kInvalidEdge) {
+      ASSERT_NE(se, kInvalidEdge) << "edge " << i << " lost by the service";
+      EXPECT_TRUE(svc.matcher().pool().live(se));
+      served.insert(canon(svc.matcher().pool().vertices(se)));
+      replayed.insert(canon(serial.pool().vertices(live[i])));
+    } else {
+      // never inserted, or deleted: the ticket must not map to a live edge
+      EXPECT_EQ(se, kInvalidEdge);
+    }
+  }
+  EXPECT_EQ(served, replayed);
+
+  // Served matching is valid + maximal on the live graph (recompute
+  // cross-check on the identical live set).
+  const auto& dm = svc.matcher();
+  auto matched = dm.matching();
+  std::set<VertexId> taken;
+  for (EdgeId e : matched) {
+    ASSERT_TRUE(dm.pool().live(e));
+    for (VertexId v : dm.pool().vertices(e))
+      EXPECT_TRUE(taken.insert(v).second) << "vertex matched twice";
+  }
+  for (std::size_t i = 0; i < w.master.size(); ++i) {
+    if (ticket[i] == kNoTicket) continue;
+    EdgeId se = svc.edge_of_ticket(ticket[i]);
+    if (se == kInvalidEdge || !dm.pool().live(se)) continue;
+    bool blocked = false;
+    for (VertexId v : dm.pool().vertices(se))
+      blocked = blocked || taken.count(v) != 0;
+    EXPECT_TRUE(blocked) << "live edge with all endpoints free: not maximal";
+  }
+}
+
+TEST(MatchService, MultiProducerIngestionAppliesEveryUpdateOnce) {
+  constexpr VertexId kN = 1024;
+  constexpr int kProducers = 4;
+  constexpr std::size_t kPerProducer = 1500;
+
+  serve::ServiceConfig cfg;
+  cfg.matcher.seed = 5;
+  cfg.max_vertices = kN;
+  serve::MatchService svc(cfg);
+  svc.start();
+
+  // Each producer inserts kPerProducer edges in its own vertex stripe and
+  // deletes every third one, so the expected final graph is exact.
+  std::vector<std::vector<std::uint64_t>> tickets(kProducers);
+  std::vector<std::thread> ps;
+  for (int p = 0; p < kProducers; ++p)
+    ps.emplace_back([&, p] {
+      Rng rng(1000 + static_cast<std::uint64_t>(p));
+      VertexId base = static_cast<VertexId>(p) * (kN / kProducers);
+      VertexId span = kN / kProducers;
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        VertexId u = base + static_cast<VertexId>(rng.next_below(span));
+        VertexId v = base + static_cast<VertexId>(rng.next_below(span));
+        if (v == u) v = base + ((u - base + 1) % span);
+        tickets[p].push_back(svc.submit_insert(u, v));
+        if (i % 3 == 2) svc.submit_delete(tickets[p][i - 1]);
+      }
+    });
+  for (auto& t : ps) t.join();
+  svc.drain_until_idle();
+  svc.stop();
+
+  const serve::ServiceStats& st = svc.stats();
+  std::size_t submitted = kProducers * (kPerProducer + kPerProducer / 3);
+  EXPECT_EQ(svc.submitted_updates(), submitted);
+  EXPECT_EQ(svc.completed_updates(), submitted);
+  // Conservation: every insert either lives, was deleted, or annihilated.
+  EXPECT_EQ(st.applied_inserts + st.annihilated,
+            static_cast<std::size_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(st.dropped_deletes, 0u);
+
+  // Exact expected live set per producer stripe.
+  for (int p = 0; p < kProducers; ++p)
+    for (std::size_t i = 0; i < kPerProducer; ++i) {
+      bool deleted = i % 3 == 1;  // ticket i deleted by step i+1
+      EdgeId e = svc.edge_of_ticket(tickets[p][i]);
+      if (deleted) {
+        EXPECT_TRUE(e == kInvalidEdge || !svc.matcher().pool().live(e));
+      } else {
+        ASSERT_NE(e, kInvalidEdge);
+        EXPECT_TRUE(svc.matcher().pool().live(e));
+      }
+    }
+
+  // Snapshot agrees with the matcher once idle.
+  const auto& dm = svc.matcher();
+  EXPECT_EQ(svc.matched_count(), dm.matched_count());
+  for (VertexId v = 0; v < kN; ++v) EXPECT_EQ(svc.match_of(v), dm.match_of(v));
+
+  // Recompute cross-check: maximality on the final live graph.
+  baseline::RecomputeMatcher rc(2, 123);
+  graph::EdgeBatch liveb;
+  for (int p = 0; p < kProducers; ++p)
+    for (std::uint64_t t : tickets[p]) {
+      EdgeId e = svc.edge_of_ticket(t);
+      if (e != kInvalidEdge && dm.pool().live(e)) {
+        auto vs = dm.pool().vertices(e);
+        liveb.add(vs);
+      }
+    }
+  rc.insert_edges(liveb);
+  // Factor-r sandwich on matching sizes (r = 2).
+  std::size_t rc_size = rc.matching().size();
+  EXPECT_LE(rc_size, 2 * dm.matched_count());
+  EXPECT_LE(dm.matched_count(), 2 * rc_size);
+}
+
+TEST(MatchService, DeleteInLaterWindowRemovesEdge) {
+  serve::ServiceConfig cfg;
+  cfg.matcher.seed = 3;
+  cfg.max_vertices = 16;
+  serve::MatchService svc(cfg);
+  svc.start();
+  std::uint64_t t1 = svc.submit_insert(1, 2);
+  std::uint64_t t2 = svc.submit_insert(3, 4);
+  svc.drain_until_idle();  // window applied: both live
+  EXPECT_NE(svc.edge_of_ticket(t1), kInvalidEdge);
+  EXPECT_TRUE(svc.is_matched(1));
+  EXPECT_TRUE(svc.is_matched(3));
+  svc.submit_delete(t1);
+  svc.drain_until_idle();
+  svc.stop();
+  EXPECT_EQ(svc.edge_of_ticket(t1), kInvalidEdge);
+  EXPECT_FALSE(svc.is_matched(1));
+  EXPECT_FALSE(svc.is_matched(2));
+  EXPECT_NE(svc.edge_of_ticket(t2), kInvalidEdge);
+  EXPECT_EQ(svc.matched_count(), 1u);
+  // Double-delete of a dead ticket is dropped, not applied.
+  EXPECT_EQ(svc.stats().dropped_deletes, 0u);
+}
+
+// The TSan target: reader threads hammer the snapshot while producers
+// submit and the drain thread applies. Asserts only invariants that hold
+// at any instant; the synchronization itself is what is under test.
+TEST(MatchService, SnapshotReadsRaceApplies) {
+  constexpr VertexId kN = 256;
+  serve::ServiceConfig cfg;
+  cfg.matcher.seed = 11;
+  cfg.max_vertices = kN;
+  cfg.former.max_delay_us = 20;  // flush often: many publishes
+  cfg.record_latencies = false;
+  serve::MatchService svc(cfg);
+  svc.start();
+
+  std::atomic<bool> go{true};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r)
+    readers.emplace_back([&, r] {
+      Rng rng(99 + static_cast<std::uint64_t>(r));
+      while (go.load(std::memory_order_acquire)) {
+        // Single-word reads are always safe.
+        VertexId v = static_cast<VertexId>(rng.next_below(kN));
+        EdgeId e = svc.match_of(v);
+        (void)e;
+        // Consistent multi-word read: epoch must be even and stable
+        // around the bracket by construction of read_consistent.
+        auto pair = svc.read_consistent([&] {
+          return std::make_pair(svc.snapshot_epoch(), svc.matched_count());
+        });
+        EXPECT_EQ(pair.first % 2, 0u);
+        EXPECT_LE(pair.second, static_cast<std::size_t>(kN) / 2);
+      }
+    });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p)
+    producers.emplace_back([&, p] {
+      Rng rng(7 + static_cast<std::uint64_t>(p));
+      std::vector<std::uint64_t> mine;
+      for (int i = 0; i < 4000; ++i) {
+        if (mine.empty() || rng.next_below(3) != 0) {
+          VertexId u = static_cast<VertexId>(rng.next_below(kN));
+          VertexId v = static_cast<VertexId>(rng.next_below(kN));
+          if (u == v) v = (v + 1) % kN;
+          mine.push_back(svc.submit_insert(u, v));
+        } else {
+          std::size_t j = rng.next_below(mine.size());
+          svc.submit_delete(mine[j]);
+          mine[j] = mine.back();
+          mine.pop_back();
+        }
+      }
+    });
+  for (auto& t : producers) t.join();
+  svc.drain_until_idle();
+  go.store(false, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  svc.stop();
+
+  // Settled state: snapshot == matcher.
+  for (VertexId v = 0; v < kN; ++v)
+    EXPECT_EQ(svc.match_of(v), svc.matcher().match_of(v));
+  EXPECT_EQ(svc.matched_count(), svc.matcher().matched_count());
+}
+
+// The serve layer carries endpoints inline in ring cells, so it caps the
+// matcher rank it will serve at UpdateRequest::kMaxRank regardless of the
+// requested config.
+TEST(MatchService, MatcherRankCappedToInlineRequestCapacity) {
+  serve::ServiceConfig cfg;
+  cfg.matcher.max_rank = 8;  // legal for the pool, not servable inline
+  cfg.max_vertices = 16;
+  serve::MatchService svc(cfg);
+  EXPECT_EQ(svc.config().matcher.max_rank, serve::UpdateRequest::kMaxRank);
+  svc.start();
+  VertexId quad[4] = {0, 1, 2, 3};
+  std::uint64_t t = svc.submit_insert(std::span<const VertexId>(quad, 4));
+  svc.drain_until_idle();
+  svc.stop();
+  EXPECT_NE(svc.edge_of_ticket(t), kInvalidEdge);
+  EXPECT_EQ(svc.matcher().pool().vertices(svc.edge_of_ticket(t)).size(), 4u);
+}
+
+// An idle service parks its drain thread; a submit must wake it (a lost
+// wakeup would stall this test until its timed-wait backstop, a hang
+// would fail the suite timeout).
+TEST(MatchService, WakesFromIdleParkOnSubmit) {
+  serve::ServiceConfig cfg;
+  cfg.matcher.seed = 4;
+  cfg.max_vertices = 8;
+  serve::MatchService svc(cfg);
+  svc.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // let it park
+  std::uint64_t t = svc.submit_insert(0, 1);
+  svc.drain_until_idle();
+  EXPECT_NE(svc.edge_of_ticket(t), kInvalidEdge);
+  EXPECT_TRUE(svc.is_matched(0));
+  svc.stop();
+}
+
+// reset_stats and drain-on-stop: stop() must flush a below-threshold
+// window rather than dropping it.
+TEST(MatchService, StopFlushesPendingWindow) {
+  serve::ServiceConfig cfg;
+  cfg.matcher.seed = 2;
+  cfg.max_vertices = 8;
+  cfg.former.max_delay_us = 1u << 30;  // deadline unreachable
+  cfg.former.cost_flush = 1u << 20;    // cost flush unreachable
+  serve::MatchService svc(cfg);
+  svc.start();
+  std::uint64_t t = svc.submit_insert(0, 1);
+  svc.stop();  // must drain the window
+  EXPECT_NE(svc.edge_of_ticket(t), kInvalidEdge);
+  EXPECT_EQ(svc.matched_count(), 1u);
+  EXPECT_EQ(svc.stats().flush_drain, 1u);
+}
+
+}  // namespace
