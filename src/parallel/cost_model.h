@@ -35,6 +35,7 @@
 // forced there) or outside adaptive mode.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
@@ -93,6 +94,21 @@ class CostModel {
   // sequential cutover (every phase takes the work-stealing path).
   std::size_t phase_cutover() const { return phase_cutover_; }
 
+  // The break-even for a phase launched while `roots` top-level fork/join
+  // regions share the pool (DESIGN.md S10): with R concurrent roots over P
+  // workers a phase sees ~P/R effective workers, so the launch tax takes
+  // longer to amortize and the crossover moves right -- at P/R <= 1 forking
+  // buys nothing and the cutover saturates at kMaxCutover. Solved once per
+  // root count at calibration from the same probe readings
+  // (n*_R = launch / (item * (1 - 1/max(2, P/R)))); a PARMATCH_CUTOVER pin
+  // applies to every root count (reproducible runs stay reproducible).
+  std::size_t phase_cutover_for(int roots) const {
+    if (roots <= 1) return phase_cutover_;
+    if (roots > Scheduler::kMaxRoots) roots = Scheduler::kMaxRoots;
+    std::size_t c = cutover_by_roots_[static_cast<std::size_t>(roots - 1)];
+    return c != 0 ? c : phase_cutover_;
+  }
+
   // Probe readings (diagnostics; 0 when pinned by PARMATCH_CUTOVER or on a
   // 1-worker pool where the probe never runs).
   double launch_ns() const { return launch_ns_; }
@@ -107,8 +123,10 @@ class CostModel {
   static constexpr std::size_t kMaxCutover = 1u << 15;
 
   CostModel() {
+    cutover_by_roots_.fill(0);
     if (const char* env = std::getenv("PARMATCH_CUTOVER")) {
       phase_cutover_ = std::strtoull(env, nullptr, 10);
+      cutover_by_roots_.fill(phase_cutover_);
       return;
     }
     int p = Scheduler::instance().workers();
@@ -170,14 +188,27 @@ class CostModel {
     launch_ns_ = samples[kTimed / 2];
 
     // Break-even: sequential costs n*item, parallel launch + n*item/p.
-    double star = launch_ns_ / (item_ns_ * (1.0 - 1.0 / p));
-    std::size_t cut = static_cast<std::size_t>(star);
-    if (cut < kMinCutover) cut = kMinCutover;
-    if (cut > kMaxCutover) cut = kMaxCutover;
-    phase_cutover_ = cut;
+    // Per root count R, the effective pool is P/R workers (the other
+    // R-1 roots keep their share busy), so each entry solves the same
+    // equation at the reduced parallelism.
+    for (int roots = 1; roots <= Scheduler::kMaxRoots; ++roots) {
+      int peff = p / roots;
+      std::size_t cut;
+      if (peff <= 1) {
+        cut = kMaxCutover;  // no parallelism left for this root: stay inline
+      } else {
+        double star = launch_ns_ / (item_ns_ * (1.0 - 1.0 / peff));
+        cut = static_cast<std::size_t>(star);
+        if (cut < kMinCutover) cut = kMinCutover;
+        if (cut > kMaxCutover) cut = kMaxCutover;
+      }
+      cutover_by_roots_[static_cast<std::size_t>(roots - 1)] = cut;
+    }
+    phase_cutover_ = cutover_by_roots_[0];
   }
 
   std::size_t phase_cutover_ = 0;
+  std::array<std::size_t, Scheduler::kMaxRoots> cutover_by_roots_{};
   double launch_ns_ = 0;
   double item_ns_ = 0;
   volatile std::uint32_t sink_ = 0;  // keeps the probe loops observable
@@ -187,16 +218,26 @@ class CostModel {
 // calling thread (so plain-memory fallbacks are safe), false when it takes
 // the work-stealing path. parallel_for consults this internally; phase
 // bodies that branch on it must pass the SAME n as their loop bound.
+//
+// Adaptive mode consults the break-even for the CURRENT root population:
+// a thread outside the pool counts itself as one more root (it would claim
+// a slot if it forked). The answer can differ between two identical phases
+// under different concurrent load -- that is the point -- but it never
+// changes results, only the schedule (determinism contract, DESIGN.md S2).
 inline bool run_phase_seq(std::size_t n) {
-  if (Scheduler::instance().workers() == 1) return true;
+  Scheduler& s = Scheduler::instance();
+  if (s.workers() == 1) return true;
   switch (exec_mode()) {
     case ExecMode::kSequential:
       return true;
     case ExecMode::kParallel:
       return false;
     case ExecMode::kAdaptive:
-    default:
-      return n <= CostModel::instance().phase_cutover();
+    default: {
+      int roots = s.active_roots() + (Scheduler::inside_pool() ? 0 : 1);
+      if (roots < 1) roots = 1;
+      return n <= CostModel::instance().phase_cutover_for(roots);
+    }
   }
 }
 

@@ -3,56 +3,77 @@
 // insert/delete requests from many producer threads into the batches the
 // batch-dynamic structure consumes.
 //
-//   producers --> UpdateQueue (MPSC ring) --> drain thread:
-//       BatchFormer window -> conflict resolution -> DynamicMatcher
-//       insert_edges / delete_edges -> snapshot publish
+// Two drain topologies, same external contract:
+//
+//   pipeline (default):
+//     producers --> UpdateQueue (MPSC ring)
+//       --> FORMER thread:   pop + window + conflict resolution
+//       --> MATCHER thread:  insert_edges / delete_edges, ticket table,
+//                            capture the touched-vertex snapshot values
+//       --> PUBLISHER thread: epoch-seqlock snapshot publish, stats,
+//                             completion accounting
+//     Adjacent stages hand off Window records over SPSC rings
+//     (update_queue.h); a small fixed pool of Windows recycles through
+//     free -> apply -> publish -> free, so the steady state allocates
+//     nothing and the former can run at most kWindows windows ahead of
+//     the matcher (internal backpressure). Window N+1 forms while window
+//     N applies and window N-1 publishes -- the matcher thread, the only
+//     stage running fork/join phases, stops paying form and publish time
+//     between batches. PARMATCH_PIPELINE=0 (or pipeline=false) selects:
+//
+//   serial (PR 5 drain): one thread runs the same three stages in
+//     sequence per window, through the SAME apply/publish code.
 //
 // Producer API: submit_insert returns a TICKET immediately (the edge id is
 // not known until the batch applies); submit_delete revokes a ticket. A
 // producer may delete a ticket only after its submit_insert returned --
 // FIFO ingestion then guarantees the drain sees the insert first, and a
 // same-window pair annihilates in the former. The ticket -> edge-id table
-// lives on the drain thread; producers never touch matcher state.
+// (serve/ticket_table.h, tombstoned open addressing: memory tracks LIVE
+// tickets, not stream length) is owned by the matcher stage; producers
+// never touch matcher state.
 //
 // Snapshot reads: is_matched / match_of / matched_count are served from a
 // service-owned array of atomics, safe to call from any thread at any
-// time. The drain thread republishes only the vertices a batch touched
-// (the matcher reports them through its delta sink -- O(batch), not O(V))
-// under an epoch seqlock: epoch goes odd -> cells -> even. Single-word
-// reads need no protocol (each cell is one atomic word); a multi-word
-// consistent view uses read_consistent(), which retries while the epoch is
-// odd or moved. Every access is an atomic on both sides, so the protocol
-// is TSan-clean by construction, not by suppression.
+// time. Only the vertices a batch touched are republished (the matcher
+// reports them through its delta sink -- O(batch), not O(V)) under an
+// epoch seqlock: epoch goes odd -> cells -> even. In the pipeline the
+// matcher stage CAPTURES each touched vertex's post-batch value into the
+// Window while it still owns the structure, and the publisher writes those
+// captured values -- it never reads live matcher state, so publish for
+// window N-1 cannot race the apply of window N. Single-word reads need no
+// protocol (each cell is one atomic word); a multi-word consistent view
+// uses read_consistent(), which retries while the epoch is odd or moved.
+// Every access is an atomic on both sides, so the protocol is TSan-clean
+// by construction, not by suppression.
 //
-// Shutdown: stop() flushes the queue and the window before joining, so
-// every submitted update is applied exactly once; drain_until_idle() is
-// the test/bench barrier (submitted == completed).
+// Shutdown: stop() drains the queue and the window, then flows a sentinel
+// Window through the stages so each exits after its last real window;
+// every submitted update is applied exactly once. drain_until_idle() is
+// the test/bench barrier (submitted == completed, bumped by the LAST
+// stage, so completion still implies snapshot visibility).
 //
-// Determinism contract (DESIGN.md S2/S12): the matcher below is
-// bit-identical for a fixed batch sequence, but the PARTITION of the
-// stream into batches is timing-dependent here -- two runs of the same
-// stream may form different windows and so different (all valid, all
-// maximal) matchings. Tests therefore compare the final live GRAPH against
-// a serial replay and validate the matching against recompute, rather than
-// expecting bit-equal matchings.
+// Determinism contract (DESIGN.md S2/S12): windows flow former -> matcher
+// -> publisher strictly FIFO and exactly one thread mutates the matcher,
+// so for a FIXED partition of the stream into windows the pipelined and
+// serial drains are bit-identical (tests pin the partition by flushing on
+// max_batch only). Under timing-dependent flushes the partition itself
+// may differ between runs -- then, as before, runs agree on the live
+// graph and validity/maximality, not bit-equal matchings.
 //
 // Complexity contract: submit_* is O(1) plus backpressure spin when the
 // ring is full; a drained window of w requests costs the matcher's batch
-// price plus O(w log w) conflict resolution; snapshot publish is O(batch
-// touched vertices); reads are O(1). An idle service parks its drain
-// thread (timed condition-variable wait after a bounded spin) and costs
-// ~zero CPU.
+// price plus O(w log w) conflict resolution on the former stage; snapshot
+// publish is O(batch touched vertices); reads are O(1). An idle service
+// parks its stage threads (timed condition-variable wait after a bounded
+// spin) and costs ~zero CPU.
 //
-// Known limitation (ROADMAP open item): two structures grow with the
-// STREAM, not with the live graph. The ticket -> edge-id table is a dense
-// vector indexed by ticket and tickets are never recycled, so it grows
-// one word per insert ever submitted (~8 MB per million inserts); and
-// with ServiceConfig::record_latencies (the default, intended for the
-// bench/test lifetimes this layer currently serves) ServiceStats keeps
-// one latency sample per committed update and one size per window. Fine
-// for bounded runs; a long-lived deployment needs ticket recycling
-// (epoch'd ticket namespaces or a tombstoned open-addressing map) and
-// record_latencies=false (or a reservoir), which is its own PR.
+// Known limitation (ROADMAP open item): with
+// ServiceConfig::record_latencies (the default, intended for bench/test
+// lifetimes) ServiceStats keeps one latency sample per committed update;
+// a long-lived deployment wants record_latencies=false (or a reservoir).
+// The former ticket-table stream-growth limitation is fixed (ticket
+// recycling, tests assert the bound).
 #pragma once
 
 #include <atomic>
@@ -61,15 +82,19 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "dyn/dynamic_matcher.h"
 #include "graph/edge.h"
 #include "serve/batch_former.h"
+#include "serve/ticket_table.h"
 #include "serve/update_queue.h"
 
 namespace parmatch::serve {
@@ -93,16 +118,22 @@ struct ServiceConfig {
   // p50/p99 source) -- stats memory then grows with the stream length
   // (see the known-limitation note in the header). Off: only counters.
   bool record_latencies = true;
+  // Three-stage pipelined drain (default) vs the single-thread serial
+  // drain. Same results for a fixed window partition; PARMATCH_PIPELINE=0
+  // selects serial from the environment.
+  bool pipeline = true;
 
   static ServiceConfig from_env() {
     ServiceConfig c;
     c.former = FormerConfig::from_env();
+    if (const char* e = std::getenv("PARMATCH_PIPELINE"))
+      c.pipeline = !(std::strcmp(e, "0") == 0 || std::strcmp(e, "off") == 0);
     return c;
   }
 };
 
-// Drain-thread-owned observables. Stable to read only when the service is
-// idle (after stop() or drain_until_idle() with producers quiesced).
+// Publisher-stage-owned observables. Stable to read only when the service
+// is idle (after stop() or drain_until_idle() with producers quiesced).
 struct ServiceStats {
   std::vector<double> latencies_us;       // per committed update
   std::vector<std::size_t> batch_updates; // updates per applied window
@@ -134,10 +165,17 @@ class MatchService {
         queue_(cfg_.queue_capacity),
         former_(cfg_.former),
         snap_match_(
-            std::make_unique<std::atomic<EdgeId>[]>(cfg_.max_vertices)) {
+            std::make_unique<std::atomic<EdgeId>[]>(cfg_.max_vertices)),
+        free_ring_(kWindows),
+        apply_ring_(kWindows),
+        publish_ring_(kWindows) {
     for (VertexId v = 0; v < cfg_.max_vertices; ++v)
       snap_match_[v].store(graph::kInvalidEdge, std::memory_order_relaxed);
     dm_.set_delta_sink(&delta_);
+    for (std::size_t i = 0; i < kWindows; ++i) {
+      pool_[i] = std::make_unique<Window>();
+      free_ring_.try_push(pool_[i].get());
+    }
   }
 
   ~MatchService() { stop(); }
@@ -151,15 +189,26 @@ class MatchService {
     if (running_) return;
     stop_.store(false, std::memory_order_release);
     running_ = true;
-    drain_ = std::thread([this] { drain_loop(); });
+    if (cfg_.pipeline) {
+      former_thread_ = std::thread([this] { former_loop(); });
+      matcher_thread_ = std::thread([this] { matcher_loop(); });
+      publisher_thread_ = std::thread([this] { publisher_loop(); });
+    } else {
+      former_thread_ = std::thread([this] { serial_drain_loop(); });
+    }
   }
 
   // Drains everything already submitted, then joins. Idempotent.
   void stop() {
     if (!running_) return;
     stop_.store(true, std::memory_order_release);
-    wake_drain();
-    drain_.join();
+    wake_former();
+    wake_stages();
+    former_thread_.join();
+    if (cfg_.pipeline) {
+      matcher_thread_.join();
+      publisher_thread_.join();
+    }
     running_ = false;
   }
 
@@ -173,7 +222,9 @@ class MatchService {
   }
 
   // Clears the stats (prewarm separation in the benches). Blocks until the
-  // drain thread acknowledges; call only from outside the drain thread,
+  // owning stage acknowledges (in the pipeline a reset MARKER flows
+  // through all three stages, so every window formed before the call is
+  // folded in before the clear); call only from outside the stage threads,
   // ideally when idle.
   void reset_stats() {
     if (!running_) {
@@ -181,7 +232,8 @@ class MatchService {
       return;
     }
     reset_pending_.store(true, std::memory_order_release);
-    wake_drain();
+    wake_former();
+    wake_stages();
     while (reset_pending_.load(std::memory_order_acquire))
       std::this_thread::yield();
   }
@@ -268,17 +320,19 @@ class MatchService {
 
   // ---- idle-time inspection (tests / benches) --------------------------
 
-  // The structure underneath. Safe only while the drain thread is idle
+  // The structure underneath. Safe only while the stage threads are idle
   // (after stop() or a drain_until_idle() with producers quiesced).
   const dyn::DynamicMatcher& matcher() const { return dm_; }
 
   // Live edge id of a ticket, kInvalidEdge if never applied or deleted.
   // Same safety rule as matcher().
   EdgeId edge_of_ticket(std::uint64_t ticket) const {
-    return ticket < ticket_to_edge_.size()
-               ? ticket_to_edge_[static_cast<std::size_t>(ticket)]
-               : graph::kInvalidEdge;
+    return tickets_.find(ticket);
   }
+
+  // The ticket -> edge-id map itself (capacity/live bounds in the
+  // recycling tests). Same safety rule as matcher().
+  const TicketTable& ticket_table() const { return tickets_; }
 
   const ServiceStats& stats() const { return stats_; }
   const ServiceConfig& config() const { return cfg_; }
@@ -304,6 +358,34 @@ class MatchService {
   }
 
  private:
+  // One in-flight unit of the pipeline. The former fills `formed` (plus
+  // the bookkeeping samples), the matcher stage fills the applied counts
+  // and the captured snapshot values, the publisher folds everything into
+  // stats_ and recycles the record. Buffers keep their capacity across
+  // laps, so a steady-state pipeline does not allocate.
+  struct Window {
+    FormedBatch formed;
+    FlushReason why = FlushReason::kDrain;
+    std::size_t queue_hwm_sample = 0;
+    std::uint64_t first_enqueue_ns = 0;
+    bool reset_marker = false;   // publisher clears stats, nothing applies
+    bool shutdown = false;       // sentinel: each stage exits after it
+    // Matcher-stage capture: post-batch values of the touched vertices.
+    // The publisher writes THESE under the seqlock -- never live matcher
+    // state, which window N's apply may be mutating concurrently.
+    std::vector<std::pair<VertexId, EdgeId>> snap_updates;
+    std::size_t matched_count = 0;
+    bool has_publish = false;
+    std::size_t applied_inserts = 0;
+    std::size_t applied_deletes = 0;
+    std::size_t dropped_deletes = 0;
+  };
+
+  // Window pool depth = how far the former may run ahead of the matcher.
+  // Small: each extra window is one more batch of ingest-to-commit latency
+  // hidden in the pipe before backpressure reaches the producers.
+  static constexpr std::size_t kWindows = 4;
+
   void push(UpdateRequest& r) {
     r.t_enqueue_ns = now_ns();
     // fetch_add BEFORE the ring push: drain_until_idle's target must cover
@@ -311,77 +393,132 @@ class MatchService {
     submitted_.fetch_add(1, std::memory_order_acq_rel);
     std::size_t spins = 0;
     while (!queue_.try_push(r)) {
-      // Backpressure: the ring is full. Yield so the drain thread gets the
+      // Backpressure: the ring is full. Yield so the drain stages get the
       // core on oversubscribed machines.
       if (++spins >= 64) {
         std::this_thread::yield();
         spins = 0;
       }
     }
-    wake_drain();
+    wake_former();
   }
 
   // Cheap on the hot path: one relaxed-ish load; the mutex+notify only
-  // when the drain actually parked.
-  void wake_drain() {
+  // when the former actually parked.
+  void wake_former() {
     if (parked_.load(std::memory_order_seq_cst)) {
       std::lock_guard<std::mutex> lk(park_mu_);
       park_cv_.notify_one();
     }
   }
 
-  // ---- drain thread ----------------------------------------------------
+  // Downstream-stage wakeup (matcher/publisher park on stage_cv_). Called
+  // after every inter-stage push; the timed wait below bounds any wakeup
+  // lost to the parked-flag race at one timeout, never a hang.
+  void wake_stages() {
+    if (stage_parked_.load(std::memory_order_seq_cst) > 0) {
+      std::lock_guard<std::mutex> lk(stage_mu_);
+      stage_cv_.notify_all();
+    }
+  }
 
-  // Consecutive empty iterations before the drain thread parks on the
+  // ---- stage threads ---------------------------------------------------
+
+  // Consecutive empty iterations before a stage thread parks on its
   // condition variable. Large enough that a loaded service never parks
   // between windows; small enough that an idle service stops burning its
-  // core within microseconds.
+  // cores within microseconds.
   static constexpr std::size_t kIdleSpinsBeforePark = 4096;
 
-  void drain_loop() {
+  Window* acquire_free_window() {
+    Window* w = nullptr;
+    while (!free_ring_.try_pop(w)) std::this_thread::yield();
+    return w;
+  }
+
+  void send_to_matcher(Window* w) {
+    while (!apply_ring_.try_push(w)) std::this_thread::yield();
+    wake_stages();
+  }
+
+  // Stage 1: pop the MPSC ring, form windows, decide flushes. Owns
+  // former_ and the per-window bookkeeping samples. Exits by flowing a
+  // shutdown sentinel to the downstream stages.
+  void former_loop() {
     UpdateRequest r;
     std::size_t idle_spins = 0;
+    std::uint64_t popped = 0;
+    std::size_t hwm_accum = 0;
+    std::uint64_t first_accum = 0;
+    bool reset_sent = false;
     for (;;) {
       // Sample the backlog BEFORE draining it into the window: sampling
       // after the pop loop would only ever see the >max_batch leftover and
       // report hwm 0 for any burst the window absorbed.
       std::size_t qs = queue_.approx_size();
-      if (qs > stats_.queue_hwm) stats_.queue_hwm = qs;
+      if (qs > hwm_accum) hwm_accum = qs;
       bool progressed = false;
       while (!former_.window_full() && queue_.try_pop(r)) {
-        if (stats_.first_enqueue_ns == 0)
-          stats_.first_enqueue_ns = r.t_enqueue_ns;
+        if (first_accum == 0) first_accum = r.t_enqueue_ns;
         former_.add(r);
+        ++popped;
         progressed = true;
       }
 
       bool stopping = stop_.load(std::memory_order_acquire);
       FlushReason why = FlushReason::kDrain;
-      if (former_.should_flush(now_ns(), &why)) {
-        apply_window(why);
-        progressed = true;
-      } else if (stopping && !former_.empty() && queue_.approx_size() == 0) {
-        apply_window(FlushReason::kDrain);
+      bool flush = former_.should_flush(now_ns(), &why);
+      if (!flush && stopping && !former_.empty() &&
+          queue_.approx_size() == 0) {
+        flush = true;
+        why = FlushReason::kDrain;
+      }
+      if (flush) {
+        Window* w = acquire_free_window();
+        former_.form(w->formed);
+        w->why = why;
+        w->reset_marker = false;
+        w->shutdown = false;
+        w->queue_hwm_sample = hwm_accum;
+        w->first_enqueue_ns = first_accum;
+        hwm_accum = 0;
+        first_accum = 0;
+        send_to_matcher(w);
         progressed = true;
       }
 
-      if (reset_pending_.load(std::memory_order_acquire) &&
-          former_.empty()) {
-        stats_.clear();
-        reset_pending_.store(false, std::memory_order_release);
+      if (reset_pending_.load(std::memory_order_acquire)) {
+        // One marker per request: reset_pending_ stays up until the
+        // publisher clears it, well after this iteration.
+        if (!reset_sent && former_.empty()) {
+          Window* w = acquire_free_window();
+          w->reset_marker = true;
+          w->shutdown = false;
+          send_to_matcher(w);
+          reset_sent = true;
+          hwm_accum = 0;
+          first_accum = 0;
+          progressed = true;
+        }
+      } else {
+        reset_sent = false;
       }
 
       if (!progressed) {
-        // Exit only when every SUBMITTED update has completed, not merely
-        // when the ring looks empty: a producer in push() may have bumped
-        // submitted_ without having landed its ring slot yet (the counter
-        // is incremented before the push for exactly this reason), and
-        // exiting then would strand its update and hang any later
-        // drain_until_idle.
+        // Exit only when every SUBMITTED update has been popped, not
+        // merely when the ring looks empty: a producer in push() may have
+        // bumped submitted_ without having landed its ring slot yet (the
+        // counter is incremented before the push for exactly this
+        // reason), and exiting then would strand its update and hang any
+        // later drain_until_idle.
         if (stopping && former_.empty() &&
-            completed_.load(std::memory_order_acquire) ==
-                submitted_.load(std::memory_order_acquire))
+            popped == submitted_.load(std::memory_order_acquire)) {
+          Window* w = acquire_free_window();
+          w->shutdown = true;
+          w->reset_marker = false;
+          send_to_matcher(w);
           return;
+        }
         // Truly idle (no window aging toward its deadline): spin briefly,
         // then park instead of burning the core forever. The park is a
         // TIMED wait, so even a wakeup lost to the store/load race between
@@ -409,111 +546,257 @@ class MatchService {
     }
   }
 
-  void apply_window(FlushReason why) {
-    former_.form(formed_);
+  // Bounded idle wait for the two downstream stages: spin, then a timed
+  // park on the shared stage_cv_ (upstream pushes notify via
+  // wake_stages).
+  void stage_idle(std::size_t& spins) {
+    if (++spins < kIdleSpinsBeforePark) {
+      std::this_thread::yield();
+      return;
+    }
+    std::unique_lock<std::mutex> lk(stage_mu_);
+    stage_parked_.fetch_add(1, std::memory_order_seq_cst);
+    stage_cv_.wait_for(lk, std::chrono::milliseconds(10));
+    stage_parked_.fetch_sub(1, std::memory_order_seq_cst);
+    // spins stays saturated; see the former's park comment.
+  }
+
+  // Stage 2: the only thread that mutates the matcher, the ticket table,
+  // and the delta buffer. Applies windows in FIFO order -- exactly the
+  // serial drain's apply sequence, hence the bit-identical contract.
+  void matcher_loop() {
+    std::size_t spins = 0;
+    for (;;) {
+      Window* w = nullptr;
+      if (!apply_ring_.try_pop(w)) {
+        stage_idle(spins);
+        continue;
+      }
+      spins = 0;
+      if (!w->reset_marker && !w->shutdown) apply_formed(*w);
+      bool last = w->shutdown;  // w is unowned after the push below
+      while (!publish_ring_.try_push(w)) std::this_thread::yield();
+      wake_stages();
+      if (last) return;
+    }
+  }
+
+  // Stage 3: owns stats_ and the published snapshot; recycles windows.
+  void publisher_loop() {
+    std::size_t spins = 0;
+    for (;;) {
+      Window* w = nullptr;
+      if (!publish_ring_.try_pop(w)) {
+        stage_idle(spins);
+        continue;
+      }
+      spins = 0;
+      if (w->shutdown) {
+        // Return the sentinel too, so a stopped service can restart with
+        // its full window pool.
+        free_ring_.try_push(w);
+        return;
+      }
+      if (w->reset_marker) {
+        stats_.clear();
+        reset_pending_.store(false, std::memory_order_release);
+      } else {
+        publish_window(*w);
+      }
+      free_ring_.try_push(w);  // never full: only kWindows circulate
+    }
+  }
+
+  // ---- serial drain (pipeline=false): same stages, one thread ----------
+
+  void serial_drain_loop() {
+    UpdateRequest r;
+    std::size_t idle_spins = 0;
+    Window& win = *pool_[0];
+    for (;;) {
+      std::size_t qs = queue_.approx_size();
+      if (qs > stats_.queue_hwm) stats_.queue_hwm = qs;
+      bool progressed = false;
+      while (!former_.window_full() && queue_.try_pop(r)) {
+        if (stats_.first_enqueue_ns == 0)
+          stats_.first_enqueue_ns = r.t_enqueue_ns;
+        former_.add(r);
+        progressed = true;
+      }
+
+      bool stopping = stop_.load(std::memory_order_acquire);
+      FlushReason why = FlushReason::kDrain;
+      bool flush = former_.should_flush(now_ns(), &why);
+      if (!flush && stopping && !former_.empty() &&
+          queue_.approx_size() == 0) {
+        flush = true;
+        why = FlushReason::kDrain;
+      }
+      if (flush) {
+        former_.form(win.formed);
+        win.why = why;
+        win.queue_hwm_sample = 0;   // folded live above
+        win.first_enqueue_ns = 0;   // recorded live above
+        apply_formed(win);
+        publish_window(win);
+        progressed = true;
+      }
+
+      if (reset_pending_.load(std::memory_order_acquire) &&
+          former_.empty()) {
+        stats_.clear();
+        reset_pending_.store(false, std::memory_order_release);
+      }
+
+      if (!progressed) {
+        if (stopping && former_.empty() &&
+            completed_.load(std::memory_order_acquire) ==
+                submitted_.load(std::memory_order_acquire))
+          return;
+        if (former_.empty() && !stopping &&
+            ++idle_spins >= kIdleSpinsBeforePark) {
+          std::unique_lock<std::mutex> lk(park_mu_);
+          parked_.store(true, std::memory_order_seq_cst);
+          if (queue_.approx_size() == 0 &&
+              !stop_.load(std::memory_order_acquire) &&
+              !reset_pending_.load(std::memory_order_acquire))
+            park_cv_.wait_for(lk, std::chrono::milliseconds(10));
+          parked_.store(false, std::memory_order_seq_cst);
+        } else {
+          std::this_thread::yield();
+        }
+      } else {
+        idle_spins = 0;
+      }
+    }
+  }
+
+  // ---- shared stage bodies ---------------------------------------------
+
+  // Matcher-stage body: apply one formed window to the structure, resolve
+  // delete tickets, and capture the touched-vertex snapshot values into
+  // the window. Caller is the single matcher-owning thread of its mode.
+  void apply_formed(Window& w) {
     delta_.clear();
 
-    if (!formed_.inserts.empty()) {
-      auto ids = dm_.insert_edges(formed_.inserts);
-      std::uint64_t max_ticket = 0;
-      for (std::uint64_t t : formed_.insert_tickets)
-        if (t > max_ticket) max_ticket = t;
-      if (ticket_to_edge_.size() <= max_ticket)
-        ticket_to_edge_.resize(static_cast<std::size_t>(max_ticket) + 1,
-                               graph::kInvalidEdge);
+    if (!w.formed.inserts.empty()) {
+      auto ids = dm_.insert_edges(w.formed.inserts);
       for (std::size_t i = 0; i < ids.size(); ++i)
-        ticket_to_edge_[static_cast<std::size_t>(formed_.insert_tickets[i])] =
-            ids[i];
+        tickets_.put(w.formed.insert_tickets[i], ids[i]);
     }
 
     del_ids_.clear();
-    for (std::uint64_t t : formed_.delete_tickets) {
-      EdgeId id = t < ticket_to_edge_.size()
-                      ? ticket_to_edge_[static_cast<std::size_t>(t)]
-                      : graph::kInvalidEdge;
+    w.dropped_deletes = 0;
+    for (std::uint64_t t : w.formed.delete_tickets) {
+      EdgeId id = tickets_.take(t);
       if (id == graph::kInvalidEdge) {
-        ++stats_.dropped_deletes;
+        ++w.dropped_deletes;
         continue;
       }
-      ticket_to_edge_[static_cast<std::size_t>(t)] = graph::kInvalidEdge;
       del_ids_.push_back(id);
     }
     if (!del_ids_.empty())
       dm_.delete_edges(std::span<const EdgeId>(del_ids_));
 
-    if (!delta_.empty() || formed_.update_count() != 0) publish_snapshot();
+    w.applied_inserts = w.formed.inserts.size();
+    w.applied_deletes = del_ids_.size();
+    w.snap_updates.clear();
+    for (VertexId v : delta_) {
+      if (v >= cfg_.max_vertices) continue;  // outside the snapshot window
+      w.snap_updates.emplace_back(v, dm_.match_of(v));
+    }
+    w.matched_count = dm_.matched_count();
+    w.has_publish = !delta_.empty() || w.formed.update_count() != 0;
+  }
+
+  // Publisher-stage body: epoch-seqlock publish of the captured values,
+  // then fold the window into stats_ and the completion counter. Caller
+  // is the single stats-owning thread of its mode.
+  void publish_window(const Window& w) {
+    if (w.has_publish) {
+      std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+      epoch_.store(e + 1, std::memory_order_seq_cst);
+      for (const auto& [v, id] : w.snap_updates)
+        snap_match_[v].store(id, std::memory_order_release);
+      snap_matched_.store(w.matched_count, std::memory_order_release);
+      epoch_.store(e + 2, std::memory_order_seq_cst);
+    }
 
     // Commit instant: every request of this window (applied or absorbed)
     // is now observable through the snapshot.
     std::uint64_t commit = now_ns();
     stats_.last_commit_ns = commit;
+    if (stats_.first_enqueue_ns == 0 && w.first_enqueue_ns != 0)
+      stats_.first_enqueue_ns = w.first_enqueue_ns;
+    if (w.queue_hwm_sample > stats_.queue_hwm)
+      stats_.queue_hwm = w.queue_hwm_sample;
     if (cfg_.record_latencies) {
       auto rec = [&](const std::vector<std::uint64_t>& ts) {
         for (std::uint64_t t : ts)
           stats_.latencies_us.push_back(
               static_cast<double>(commit - t) * 1e-3);
       };
-      rec(formed_.insert_enqueue_ns);
-      rec(formed_.delete_enqueue_ns);
-      rec(formed_.absorbed_enqueue_ns);
+      rec(w.formed.insert_enqueue_ns);
+      rec(w.formed.delete_enqueue_ns);
+      rec(w.formed.absorbed_enqueue_ns);
     }
     ++stats_.batches;
     if (cfg_.record_latencies)
-      stats_.batch_updates.push_back(formed_.update_count());
-    stats_.applied_inserts += formed_.inserts.size();
-    stats_.applied_deletes += del_ids_.size();
-    stats_.annihilated += formed_.annihilated;
-    stats_.deduped_deletes += formed_.deduped;
-    switch (why) {
+      stats_.batch_updates.push_back(w.formed.update_count());
+    stats_.applied_inserts += w.applied_inserts;
+    stats_.applied_deletes += w.applied_deletes;
+    stats_.dropped_deletes += w.dropped_deletes;
+    stats_.annihilated += w.formed.annihilated;
+    stats_.deduped_deletes += w.formed.deduped;
+    switch (w.why) {
       case FlushReason::kFull: ++stats_.flush_full; break;
       case FlushReason::kCostModel: ++stats_.flush_cost; break;
       case FlushReason::kDeadline: ++stats_.flush_deadline; break;
       case FlushReason::kDrain: ++stats_.flush_drain; break;
     }
-    completed_.fetch_add(formed_.raw_requests, std::memory_order_acq_rel);
-  }
-
-  // Epoch seqlock: odd while cells are being rewritten. Only the vertices
-  // the matcher touched this window are republished (delta sink).
-  void publish_snapshot() {
-    std::uint64_t e = epoch_.load(std::memory_order_relaxed);
-    epoch_.store(e + 1, std::memory_order_seq_cst);
-    for (VertexId v : delta_) {
-      if (v >= cfg_.max_vertices) continue;  // outside the snapshot window
-      snap_match_[v].store(dm_.match_of(v), std::memory_order_release);
-    }
-    snap_matched_.store(dm_.matched_count(), std::memory_order_release);
-    epoch_.store(e + 2, std::memory_order_seq_cst);
+    completed_.fetch_add(w.formed.raw_requests, std::memory_order_acq_rel);
   }
 
   ServiceConfig cfg_;
   dyn::DynamicMatcher dm_;
   UpdateQueue queue_;
   BatchFormer former_;
-  FormedBatch formed_;
 
-  std::thread drain_;
+  std::thread former_thread_;
+  std::thread matcher_thread_;
+  std::thread publisher_thread_;
   bool running_ = false;
   std::atomic<bool> stop_{false};
   std::atomic<bool> reset_pending_{false};
-  std::mutex park_mu_;               // idle-park handshake
+  std::mutex park_mu_;               // former idle-park handshake
   std::condition_variable park_cv_;
   std::atomic<bool> parked_{false};
+  std::mutex stage_mu_;              // matcher/publisher idle-park
+  std::condition_variable stage_cv_;
+  std::atomic<int> stage_parked_{0};
 
   std::atomic<std::uint64_t> next_ticket_{0};
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
 
-  // Drain-thread-owned.
-  std::vector<EdgeId> ticket_to_edge_;
+  // Matcher-stage-owned.
+  TicketTable tickets_;
   std::vector<EdgeId> del_ids_;
   std::vector<VertexId> delta_;  // matcher's per-window touched vertices
+
+  // Publisher-stage-owned.
   ServiceStats stats_;
 
   // Snapshot (epoch seqlock over atomics; readers on any thread).
   std::unique_ptr<std::atomic<EdgeId>[]> snap_match_;
   std::atomic<std::size_t> snap_matched_{0};
   std::atomic<std::uint64_t> epoch_{0};
+
+  // Window pool and inter-stage rings (free -> apply -> publish -> free).
+  std::unique_ptr<Window> pool_[kWindows];
+  SpscRing<Window*> free_ring_;
+  SpscRing<Window*> apply_ring_;
+  SpscRing<Window*> publish_ring_;
 };
 
 }  // namespace parmatch::serve

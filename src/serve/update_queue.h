@@ -125,4 +125,71 @@ class UpdateQueue {
   alignas(64) std::atomic<std::size_t> head_{0};  // consumer-advanced
 };
 
+// Bounded single-producer single-consumer ring -- the handoff between
+// adjacent stages of the pipelined drain (service.h, DESIGN.md S12). Each
+// stage pair has exactly one producer and one consumer, so no CAS is
+// needed at all: the producer owns tail_, the consumer owns head_, and one
+// acquire/release pair per transfer publishes the payload. T is typically
+// a Window* (pointer-sized), so a full transfer is two loads + two stores.
+//
+// A full ring stalls the producer stage (try_push false) -- that is the
+// pipeline's internal backpressure, bounding how far the former may run
+// ahead of the matcher. Capacity is rounded up to a power of two.
+//
+// Complexity contract: try_push / try_pop are O(1), wait-free (one
+// cached-peer-index fast path, one refresh on apparent full/empty).
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 4;
+    while (cap < capacity) cap <<= 1;
+    cap_ = cap;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<T[]>(cap);
+  }
+
+  std::size_t capacity() const { return cap_; }
+
+  // Producer side. False = ring full (consumer stage is behind).
+  bool try_push(const T& v) {
+    std::size_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_cache_ >= cap_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (t - head_cache_ >= cap_) return false;
+    }
+    slots_[t & mask_] = v;
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. False = empty.
+  bool try_pop(T& out) {
+    std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (h == tail_cache_) return false;
+    }
+    out = slots_[h & mask_];
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Monitoring estimate; racy by design.
+  std::size_t approx_size() const {
+    std::size_t t = tail_.load(std::memory_order_relaxed);
+    std::size_t h = head_.load(std::memory_order_relaxed);
+    return t > h ? t - h : 0;
+  }
+
+ private:
+  std::unique_ptr<T[]> slots_;
+  std::size_t cap_ = 0;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer-owned
+  alignas(64) std::size_t head_cache_ = 0;        // producer's view of head_
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer-owned
+  alignas(64) std::size_t tail_cache_ = 0;        // consumer's view of tail_
+};
+
 }  // namespace parmatch::serve

@@ -1,0 +1,210 @@
+// Concurrent top-level fork/join roots (DESIGN.md S10). PR 5's scheduler
+// admitted one top-level parallel region at a time (a mutex-guarded
+// become-worker-0 protocol); the root-slot scheduler lets N external
+// threads each run nested parallel_for simultaneously over the shared
+// pool. These tests drive exactly that from plain std::threads: result
+// correctness per root, overlap-in-time evidence, uneven grains, nested
+// forking from several roots at once, and a root-churn stress. All of it
+// must be TSan-clean (the tsan CI job re-runs this binary) and must hold
+// on a 1-worker pool too, where every root runs inline on its own thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+#include "parallel/scheduler.h"
+
+using namespace parmatch;
+
+namespace {
+
+// N external threads, each a top-level root covering its own array with a
+// different range length (uneven grain trees). Every index must be hit
+// exactly once by its own root -- cross-root work stealing may execute a
+// chunk on any thread, but never against the wrong array.
+TEST(SchedulerMultiRoot, ConcurrentRootsCoverTheirOwnRanges) {
+  constexpr int kRoots = 4;
+  constexpr std::size_t kBase = 100'000;
+  std::vector<std::vector<std::uint8_t>> hit(kRoots);
+  std::vector<std::thread> roots;
+  for (int r = 0; r < kRoots; ++r) {
+    std::size_t n = kBase + static_cast<std::size_t>(r) * 33'331;
+    hit[r].assign(n, 0);
+    roots.emplace_back([&, r, n] {
+      parallel::parallel_for(0, n, [&, r](std::size_t i) { ++hit[r][i]; });
+    });
+  }
+  for (auto& t : roots) t.join();
+  for (int r = 0; r < kRoots; ++r)
+    for (std::size_t i = 0; i < hit[r].size(); ++i)
+      ASSERT_EQ(hit[r][i], 1) << "root " << r << " index " << i;
+  EXPECT_EQ(parallel::Scheduler::instance().active_roots(), 0);
+}
+
+// Two roots provably INSIDE their parallel regions at the same time: each
+// root's loop body sets its own flag and then waits (bounded) to observe
+// the other root's flag. Under the old top_mutex_ protocol root B could
+// not enter its region until root A finished, so this rendezvous would
+// time out. Works on a 1-worker pool too: each root runs inline on its
+// own external thread, so the two bodies still overlap in time.
+TEST(SchedulerMultiRoot, TwoRootsOverlapInTime) {
+  std::atomic<bool> a_inside{false}, b_inside{false};
+  std::atomic<int> overlaps{0};
+  auto wait_for = [](std::atomic<bool>& flag) {
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!flag.load(std::memory_order_acquire)) {
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      std::this_thread::yield();
+    }
+    return true;
+  };
+  std::thread a([&] {
+    parallel::parallel_for(0, 1, [&](std::size_t) {
+      a_inside.store(true, std::memory_order_release);
+      if (wait_for(b_inside)) overlaps.fetch_add(1);
+    });
+  });
+  std::thread b([&] {
+    parallel::parallel_for(0, 1, [&](std::size_t) {
+      b_inside.store(true, std::memory_order_release);
+      if (wait_for(a_inside)) overlaps.fetch_add(1);
+    });
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(overlaps.load(), 2) << "roots serialized: no overlap observed";
+}
+
+// Several roots forking three levels deep with grain 1 -- the heaviest
+// deque traffic per root -- while sharing the pool. Checks both coverage
+// and per-root sums (no cross-root bleed into the wrong accumulator).
+TEST(SchedulerMultiRoot, NestedThreeLevelsFromConcurrentRoots) {
+  constexpr int kRoots = 3;
+  constexpr std::size_t kA = 8, kB = 8, kC = 8;
+  std::vector<std::atomic<std::uint64_t>> sum(kRoots);
+  for (auto& s : sum) s.store(0);
+  std::vector<std::thread> roots;
+  for (int r = 0; r < kRoots; ++r) {
+    roots.emplace_back([&, r] {
+      parallel::parallel_for(
+          0, kA,
+          [&, r](std::size_t i) {
+            parallel::parallel_for(
+                0, kB,
+                [&, r, i](std::size_t j) {
+                  parallel::parallel_for(
+                      0, kC,
+                      [&, r, i, j](std::size_t k) {
+                        sum[r].fetch_add(i * kB * kC + j * kC + k + 1,
+                                         std::memory_order_relaxed);
+                      },
+                      1);
+                },
+                1);
+          },
+          1);
+    });
+  }
+  for (auto& t : roots) t.join();
+  constexpr std::uint64_t kN = kA * kB * kC;
+  for (int r = 0; r < kRoots; ++r)
+    EXPECT_EQ(sum[r].load(), kN * (kN + 1) / 2) << "root " << r;
+}
+
+// Uneven grains across concurrent roots: one root floods the deques with
+// grain-1 chunks while another uses coarse chunks and a third runs a size
+// below every break-even (inline fast path). All must complete correctly.
+TEST(SchedulerMultiRoot, MixedGrainsAndInlineFastPathCoexist) {
+  std::vector<std::uint8_t> fine(20'000, 0), coarse(200'000, 0);
+  std::vector<std::uint32_t> tiny(64, 0);
+  std::thread t1([&] {
+    parallel::parallel_for(0, fine.size(),
+                           [&](std::size_t i) { ++fine[i]; }, 1);
+  });
+  std::thread t2([&] {
+    parallel::parallel_for(0, coarse.size(),
+                           [&](std::size_t i) { ++coarse[i]; }, 4096);
+  });
+  std::thread t3([&] {
+    for (int rep = 0; rep < 1000; ++rep)
+      parallel::parallel_for(0, tiny.size(), [&](std::size_t i) {
+        ++tiny[i];
+      });
+  });
+  t1.join();
+  t2.join();
+  t3.join();
+  for (auto v : fine) ASSERT_EQ(v, 1);
+  for (auto v : coarse) ASSERT_EQ(v, 1);
+  for (auto v : tiny) ASSERT_EQ(v, 1000u);
+}
+
+// Root churn: more threads than kMaxRoots slots, each claiming and
+// releasing a root in a tight loop. Slots must recycle cleanly (no claim
+// ever lost, no double grant) and active_roots() must return to zero.
+TEST(SchedulerMultiRoot, RootChurnStressRecyclesSlots) {
+  const int kThreads = parallel::Scheduler::kMaxRoots + 4;
+  constexpr int kReps = 200;
+  constexpr std::size_t kN = 2'000;
+  std::atomic<std::uint64_t> total{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int rep = 0; rep < kReps; ++rep) {
+        std::atomic<std::uint64_t> local{0};
+        parallel::parallel_for(
+            0, kN,
+            [&](std::size_t i) {
+              local.fetch_add(i + 1, std::memory_order_relaxed);
+            },
+            64);
+        ASSERT_EQ(local.load(), kN * (kN + 1) / 2);
+        total.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(total.load(),
+            static_cast<std::uint64_t>(kThreads) * kReps);
+  EXPECT_EQ(parallel::Scheduler::instance().active_roots(), 0);
+}
+
+// A root that is itself a pool worker context must NOT claim a slot: a
+// nested parallel_for inside a running region forks in place. Meanwhile
+// an external root runs concurrently. active_roots() stays <= 2 the whole
+// time (one per external thread, never one per nested level).
+TEST(SchedulerMultiRoot, NestedRegionsDoNotClaimExtraRoots) {
+  std::atomic<int> max_roots{0};
+  auto observe = [&] {
+    int r = parallel::Scheduler::instance().active_roots();
+    int m = max_roots.load(std::memory_order_relaxed);
+    while (r > m &&
+           !max_roots.compare_exchange_weak(m, r,
+                                            std::memory_order_relaxed)) {
+    }
+  };
+  std::thread a([&] {
+    parallel::parallel_for(0, 64, [&](std::size_t) {
+      observe();
+      parallel::parallel_for(0, 64, [&](std::size_t) { observe(); }, 1);
+    }, 1);
+  });
+  std::thread b([&] {
+    parallel::parallel_for(0, 64, [&](std::size_t) {
+      observe();
+      parallel::parallel_for(0, 64, [&](std::size_t) { observe(); }, 1);
+    }, 1);
+  });
+  a.join();
+  b.join();
+  EXPECT_LE(max_roots.load(), 2);
+  EXPECT_EQ(parallel::Scheduler::instance().active_roots(), 0);
+}
+
+}  // namespace

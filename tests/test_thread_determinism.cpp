@@ -27,6 +27,7 @@
 #include "dyn/dynamic_matcher.h"
 #include "gen/generators.h"
 #include "gen/workloads.h"
+#include "serve/service.h"
 #include "util/rng.h"
 
 using namespace parmatch;
@@ -79,11 +80,49 @@ void print_fingerprints(const Scenario& s) {
   }
 }
 
+// Serving-layer fingerprint: the same stream through MatchService with the
+// window partition PINNED (flushes on max_batch only, tail on stop()), so
+// the served trajectory must be bit-identical too -- across thread counts,
+// exec modes, AND the pipelined/serial drain toggle (PARMATCH_PIPELINE,
+// honored via ServiceConfig::from_env in the parent's mode strings).
+void print_serve_fingerprint(const Scenario& s) {
+  auto w = scenario_workload(s);
+  auto stream = gen::flatten(w);
+  serve::ServiceConfig cfg = serve::ServiceConfig::from_env();
+  cfg.matcher.seed = 5;
+  cfg.max_vertices = 700;
+  cfg.record_latencies = false;
+  cfg.former.max_batch = 64;
+  cfg.former.cost_flush = 1u << 20;    // unreachable: partition is exact
+  cfg.former.max_delay_us = 1u << 30;  // consecutive groups of max_batch
+  serve::MatchService svc(cfg);
+  svc.start();
+  constexpr std::uint64_t kNoTicket = ~0ull;
+  std::vector<std::uint64_t> ticket(w.master.size(), kNoTicket);
+  for (const gen::Update& u : stream) {
+    if (u.is_insert)
+      ticket[u.edge] = svc.submit_insert(w.master.edge(u.edge));
+    else
+      svc.submit_delete(ticket[u.edge]);
+  }
+  svc.stop();
+  std::uint64_t h = 0;
+  for (EdgeId e : svc.matcher().matching()) h = hash64(h, e);
+  for (graph::VertexId v = 0; v < 700; ++v) h = hash64(h, svc.match_of(v));
+  h = hash64(h, svc.matched_count());
+  h = hash64(h, svc.stats().batches);
+  h = hash64(h, svc.stats().applied_inserts);
+  h = hash64(h, svc.stats().applied_deletes);
+  std::printf("FP serve_%s 0 %llu\n", s.name,
+              static_cast<unsigned long long>(h));
+}
+
 // Child mode: emits fingerprint lines when spawned by the parent test; a
 // plain `ctest` run (env unset) passes through trivially.
 TEST(ThreadDeterminism, Child) {
   if (std::getenv("PARMATCH_DET_CHILD") == nullptr) GTEST_SKIP();
   for (const Scenario& s : kScenarios) print_fingerprints(s);
+  for (const Scenario& s : kScenarios) print_serve_fingerprint(s);
 }
 
 // Resolved in the parent: /proc/self/exe inside popen's shell would name
@@ -128,11 +167,16 @@ TEST(ThreadDeterminism, MatchingIdenticalAcrossThreadCountsAndExecModes) {
   // Every execution policy the engine can take, including an adaptive run
   // with a pinned mid-range cutover so single batches mix the fused and
   // forked strategies phase by phase.
+  // The PARMATCH_PIPELINE rows pin the serve-layer drain topology: the
+  // serve_* fingerprint lines must agree between the three-stage pipeline
+  // (default) and the serial drain, per thread count and exec mode.
   const std::vector<std::string> modes{
       "PARMATCH_EXEC_MODE=adaptive",
       "PARMATCH_EXEC_MODE=sequential",
       "PARMATCH_EXEC_MODE=parallel",
       "PARMATCH_EXEC_MODE=adaptive PARMATCH_CUTOVER=8",
+      "PARMATCH_EXEC_MODE=adaptive PARMATCH_PIPELINE=0",
+      "PARMATCH_EXEC_MODE=parallel PARMATCH_PIPELINE=0",
   };
   auto reference = run_child(counts[0], modes[0]);
   ASSERT_FALSE(reference.empty()) << "child produced no fingerprints";
