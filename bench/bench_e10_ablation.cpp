@@ -5,7 +5,12 @@
 //  * heavy threshold factor 4 (paper) vs 1 vs 16: when to give up on a
 //    match's neighborhood and resample;
 //  * light-only (footnote 8): correct but abandons the lazy machinery --
-//    the work blowup shows why random settling exists.
+//    the work blowup shows why random settling exists;
+//  * steal fixed point (ISSUE 7): the deterministic-reservations steal
+//    resolves displaced chains in-batch (steal_1round keeps the legacy
+//    single claim round, PARMATCH_STEAL_FIXPOINT=0) -- the steal_rds /
+//    retries columns show the engine iterating where the legacy path
+//    stopped after one round.
 //
 // Workloads: the adversarial targeted teardown (settle-heavy) and a neutral
 // churn (balanced), both rank 2.
@@ -25,6 +30,7 @@ namespace {
 struct Variant {
   const char* name;
   dyn::Config cfg;
+  bool steal_fixpoint = true;
 };
 
 std::vector<Variant> variants(std::uint64_t seed) {
@@ -60,6 +66,11 @@ std::vector<Variant> variants(std::uint64_t seed) {
     v.cfg.light_only = true;
     out.push_back(v);
   }
+  {
+    Variant v{"steal_1round", base};
+    v.steal_fixpoint = false;
+    out.push_back(v);
+  }
   return out;
 }
 
@@ -67,8 +78,9 @@ void run_table(const char* title, std::uint64_t seed,
                const gen::Workload& w) {
   std::printf("%s\n\n", title);
   Table table({"variant", "us/update", "work/update", "samples/upd",
-               "settles", "stolen", "bloated"});
+               "settles", "steal_rds", "retries", "stolen", "bloated"});
   for (const auto& v : variants(seed)) {
+    dyn::set_steal_fixpoint(v.steal_fixpoint);
     dyn::DynamicMatcher dm(v.cfg);
     double secs = drive_workload(dm, w);
     const auto& st = dm.cumulative_stats();
@@ -77,9 +89,11 @@ void run_table(const char* title, std::uint64_t seed,
                Table::num(static_cast<double>(st.work_units) / updates, 2),
                Table::num(static_cast<double>(st.samples_created) / updates,
                           2),
-               Table::num(st.settle_rounds), Table::num(st.stolen),
+               Table::num(st.settle_rounds), Table::num(st.steal_rounds),
+               Table::num(st.spec_retries), Table::num(st.stolen),
                Table::num(st.bloated)});
   }
+  dyn::set_steal_fixpoint(true);
   std::printf("\n");
 }
 

@@ -57,7 +57,8 @@ int main(int argc, char** argv) {
       "    (n=%u, m=%zu, mixed churn p_insert=0.5). Claim: us/update p50\n"
       "    stays near-flat as k shrinks 1024x (no fixed per-batch tax).\n\n",
       kN, kM);
-  Table table({"k", "batches", "p50_us", "p99_us", "p50_us/upd", "mean_us"});
+  Table table({"k", "batches", "p50_us", "p99_us", "p50_us/upd", "mean_us",
+                "steal_rds", "retries"});
 
   for (std::size_t k : {std::size_t{1}, std::size_t{4}, std::size_t{16},
                         std::size_t{64}, std::size_t{256},
@@ -107,6 +108,8 @@ int main(int argc, char** argv) {
     }
 
     // Timed loop: nothing but batch calls and one clock read per batch.
+    std::size_t steal_rounds0 = dm.cumulative_stats().steal_rounds;
+    std::size_t retries0 = dm.cumulative_stats().spec_retries;
     std::vector<double> lat_us(nbatches);
     graph::EdgeBatch chunk;
     std::vector<graph::EdgeId> del_ids;
@@ -137,7 +140,9 @@ int main(int argc, char** argv) {
     mean /= static_cast<double>(nbatches);
     table.row({Table::num(k), Table::num(nbatches), Table::num(p50),
                Table::num(p99), Table::num(p50 / static_cast<double>(k)),
-               Table::num(mean)});
+               Table::num(mean),
+               Table::num(dm.cumulative_stats().steal_rounds - steal_rounds0),
+               Table::num(dm.cumulative_stats().spec_retries - retries0)});
   }
   return 0;
 }

@@ -30,10 +30,11 @@
 //
 //  * steal on insert: a batch-inserted edge whose priority beats the
 //    priority of every matched edge on its taken vertices displaces them
-//    (stats.stolen) and the freed vertices resettle. This keeps the
-//    matching close to the greedy fixed point for the current samples, so
-//    insertions cannot park adversarially useful edges behind stale
-//    matches.
+//    (stats.stolen) and the freed vertices resettle. The stealers run to
+//    the greedy fixed point in priority order (deterministic reservations,
+//    prims/speculative_for.h), so displaced chains resolve inside the
+//    batch and insertions cannot park adversarially useful edges behind
+//    stale matches.
 //
 // Every batch runs as a fixed sequence of data-parallel phases over batch
 // primitives (group_by / filter / claim rounds), never as a per-edge
@@ -42,17 +43,23 @@
 //   insert: [P1] draw priorities  [P2] group the batch by endpoint and
 //   apply adjacency appends / live_deg / growth bumps per vertex-group
 //   [P3] classify edges into all-free candidates and steal candidates
-//   [P4] resolve steals with one claim round (CAS-min per endpoint,
-//   winners displace their victims)  [P5] resettle bloated matches
-//   [P6] greedy over the candidates  [P7] settle the freed vertices.
+//   [P4] resolve steals to the greedy fixed point: priority-ordered
+//   reserve/commit rounds over per-vertex reservation slots
+//   (PARMATCH_STEAL_FIXPOINT=0 keeps the legacy single claim round)
+//   [P5] resettle bloated matches  [P6] greedy over the candidates
+//   [P7] settle the freed vertices.
 //
 //   delete: filter live ids -> unmatch deleted matches -> parallel
 //   live_deg decrements -> batch slot free -> settle.
 //
-//   settle round: all pending vertices compact + reservoir-sample
-//   concurrently (the survivor/draw pack is fused into the sampling
-//   phase), sampled edges dedup and redraw priorities, one greedy claim
-//   round; losers resample next round.
+//   settle: ONE adjacency harvest caches each pending vertex's free
+//   candidates (compacting the chain as it goes), then the
+//   deterministic-reservations engine (prims/speculative_for.h) runs
+//   reserve/commit rounds: each still-free vertex prunes its cached slice
+//   in place, draws a uniform surviving candidate keyed (vertex, settle
+//   epoch), and reserves its endpoints; commit winners match and redraw
+//   their edge's sample, losers carry the pruned slice forward. No
+//   candidate list is rescanned from adjacency after the harvest.
 //
 // Adaptive execution (DESIGN.md S11): that phase plan is a *logical*
 // schedule. Per phase, parallel/cost_model.h decides whether the
@@ -86,8 +93,8 @@
 //
 // Allocation discipline (DESIGN.md S7): every transient buffer comes from
 // the per-matcher BatchWorkspace (dyn/workspace.h) -- named vectors that
-// keep their capacity plus a bump ScratchArena reset at batch/settle-round
-// boundaries -- and every hot-path sort/dedup is prims::radix_sort (with
+// keep their capacity plus a bump ScratchArena reset at batch start and
+// settle start -- and every hot-path sort/dedup is prims::radix_sort (with
 // its small-n insertion fallback) plus a dedup pack, so a steady-state
 // batch touches the heap zero times (tests/test_alloc_free.cpp).
 //
@@ -105,6 +112,8 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <initializer_list>
 #include <limits>
 #include <span>
@@ -125,10 +134,36 @@
 #include "prims/group_by.h"
 #include "prims/radix_sort.h"
 #include "prims/reduce.h"
+#include "prims/speculative_for.h"
 #include "util/prefetch.h"
 #include "util/rng.h"
 
 namespace parmatch::dyn {
+
+namespace detail {
+
+inline std::atomic<bool>& steal_fixpoint_slot() {
+  static std::atomic<bool> on{[] {
+    const char* env = std::getenv("PARMATCH_STEAL_FIXPOINT");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+  }()};
+  return on;
+}
+
+}  // namespace detail
+
+// Steal-to-fixed-point toggle (PARMATCH_STEAL_FIXPOINT at startup; default
+// on). Off keeps the pre-engine single claim round, where steal losers drop
+// and displaced chains leak to the next settle -- the E10 ablation's legacy
+// column. This is an ALGORITHM toggle, not an execution-mode one: flipping
+// it changes trajectories, so determinism comparisons hold it fixed.
+inline bool steal_fixpoint() {
+  return detail::steal_fixpoint_slot().load(std::memory_order_relaxed);
+}
+
+inline void set_steal_fixpoint(bool on) {
+  detail::steal_fixpoint_slot().store(on, std::memory_order_relaxed);
+}
 
 struct Config {
   std::uint64_t seed = 1;
@@ -806,13 +841,119 @@ class DynamicMatcher {
     return !any_taken ? 1 : (steals_all ? 2 : 0);
   }
 
-  // P4 of insert_edges: one claim round over the steal candidates. Each
-  // stealer CAS-mins itself into every endpoint slot; an edge owning all
-  // its slots wins, displaces the matches it touches, and commits. Losers
-  // do not retry: any vertex they could still want is either taken by a
-  // better edge or freed into settle(), which restores maximality.
+  // The steal engine's reservation step (contract in
+  // prims/speculative_for.h). Items are positions in the (priority, id)-
+  // sorted stealer order. A stealer blocked by a better match RETRIES
+  // rather than dropping -- the blocker may itself be displaced through
+  // its other vertices by a better stealer, freeing the vertex -- and
+  // finalizes as blocked only at the frontier, where every better stealer
+  // has already resolved, i.e. exactly when the sequential greedy repair
+  // would have dropped it. Victims are unmatched in finalize (sequential):
+  // the taken_by re-read there dedups a victim two winners displace
+  // through different vertices.
+  struct StealStep {
+    DynamicMatcher& m;
+    std::span<const EdgeId> order;
+    std::size_t stolen = 0;
+    bool seq = true;
+
+    void begin_round(std::uint64_t, bool s) { seq = s; }
+
+    prims::SpecStatus reserve(std::size_t i, bool frontier) {
+      EdgeId e = order[i];
+      for (VertexId v : m.pool_.vertices(e)) {
+        EdgeId t = m.vh_[v].taken_by;
+        if (t != kInvalid &&
+            !matching::detail::beats(m.pri_[e], e, m.pri_[t], t))
+          return frontier ? prims::SpecStatus::kDone
+                          : prims::SpecStatus::kRetry;
+      }
+      for (VertexId v : m.pool_.vertices(e))
+        prims::reserve_slot(m.vh_[v].min_edge, static_cast<std::uint32_t>(i),
+                            seq);
+      return prims::SpecStatus::kTryCommit;
+    }
+
+    bool commit(std::size_t i) {
+      EdgeId e = order[i];
+      auto idx = static_cast<std::uint32_t>(i);
+      bool owns = true;
+      for (VertexId v : m.pool_.vertices(e))
+        owns = owns && prims::slot_holds(m.vh_[v].min_edge, idx, seq);
+      for (VertexId v : m.pool_.vertices(e))
+        if (owns || prims::slot_holds(m.vh_[v].min_edge, idx, seq))
+          prims::release_slot(m.vh_[v].min_edge, seq);
+      return owns;
+    }
+
+    void finalize(std::size_t i) {
+      EdgeId e = order[i];
+      bool displaced = false;
+      for (VertexId v : m.pool_.vertices(e)) {
+        EdgeId t = m.vh_[v].taken_by;
+        if (t != kInvalid) {
+          m.unmatch(t);
+          displaced = true;
+        }
+      }
+      if (displaced) ++stolen;
+      m.commit_arrays(e);
+      m.matched_add(e);
+      if (m.delta_sink_)
+        for (VertexId v : m.pool_.vertices(e)) m.delta_sink_->push_back(v);
+    }
+  };
+
+  // P4 of insert_edges. Default: iterate the stealers to the greedy fixed
+  // point. Sorted by (priority, id), the stealers run reserve/commit
+  // rounds whose index-min reservations implement priority-min claims, so
+  // the result is exactly the sequential greedy repair in priority order
+  // -- displaced chains resolve inside the batch instead of leaking to
+  // the next settle. PARMATCH_STEAL_FIXPOINT=0 keeps the legacy single
+  // claim round below.
   void resolve_steals(std::span<const EdgeId> stealers) {
     if (stealers.empty()) return;
+    std::size_t ns = stealers.size();
+    if (!steal_fixpoint()) {
+      ++stats_.steal_rounds;
+      ++batch_.steal_rounds;
+      resolve_steals_legacy(stealers);
+      return;
+    }
+    stats_.work_units += ns;
+    auto order = ws_.arena.alloc<EdgeId>(ns);
+    charge_phase(ns);
+    parallel::parallel_for_blocked(0, ns, [&](std::size_t b, std::size_t e) {
+      std::memcpy(order.data() + b, stealers.data() + b,
+                  (e - b) * sizeof(EdgeId));
+    });
+    // (pri, id) order via two stable radix passes: id width, then the full
+    // 64-bit priority (charged at 2x the 32-bit radix model).
+    charge_phases(3 * kRadixPhases, ns);
+    prims::radix_sort(std::span<EdgeId>(order),
+                      [](EdgeId e) { return std::uint64_t(e); }, id_bits(),
+                      ws_.arena);
+    prims::radix_sort(std::span<EdgeId>(order),
+                      [&](EdgeId e) { return pri_[e]; }, 64, ws_.arena);
+    StealStep step{*this, order};
+    prims::SpecStats st = prims::speculative_for(step, 0, ns, ws_.arena, 0,
+                                                 &batch_.measured_depth);
+    batch_.parallel_phases += prims::kSpecRoundPhases * st.rounds;
+    stats_.steal_rounds += st.rounds;
+    batch_.steal_rounds += st.rounds;
+    stats_.spec_retries += st.retries;
+    batch_.spec_retries += st.retries;
+    stats_.work_units += st.retries;
+    stats_.stolen += step.stolen;
+  }
+
+  // P4, legacy (PARMATCH_STEAL_FIXPOINT=0): one claim round over the steal
+  // candidates. Each stealer CAS-mins itself into every endpoint slot; an
+  // edge owning all its slots wins, displaces the matches it touches, and
+  // commits. Losers do not retry: any vertex they could still want is
+  // either taken by a better edge or freed into settle(), which restores
+  // maximality.
+  void resolve_steals_legacy(std::span<const EdgeId> stealers) {
     std::size_t ns = stealers.size();
     const bool seq = parallel::run_phase_seq(ns);
     if (seq) {
@@ -938,21 +1079,22 @@ class DynamicMatcher {
     }
     if (candidates.empty()) return;
     ws_.matched.clear();
+    std::size_t retries = 0;
     std::size_t rounds = matching::greedy_match_rounds(
         pool_, candidates, [&](EdgeId e) { return pri_[e]; }, vh_,
-        &ws_.matched, ws_.arena, &stats_.work_units, &batch_.measured_depth);
-    batch_.parallel_phases += 5 * rounds;
+        &ws_.matched, ws_.arena, &stats_.work_units, &batch_.measured_depth,
+        &retries);
+    batch_.parallel_phases +=
+        (candidates.size() > 1 ? matching::kGreedySortPhases : 0) +
+        prims::kSpecRoundPhases * rounds;
+    batch_.spec_retries += retries;
+    stats_.spec_retries += retries;
     if (rounds > batch_.max_greedy_rounds) batch_.max_greedy_rounds = rounds;
     commit_matches(ws_.matched);
   }
 
   // ---- randomSettle (Section 4) ---------------------------------------
 
-  // Compacts adj_'s chain for v (each dead entry is dropped exactly once)
-  // and returns one settle candidate: a uniformly random free incident edge
-  // (or the minimum-priority one under light_only). `rng` is this vertex's
-  // private stream for the round, so concurrent vertices never share state.
-  // `scanned` reports the scan length for the caller's work accounting.
   // all_endpoints_free for an edge known to be incident to the (free)
   // vertex v: v's own record never needs re-reading, so the check chases
   // one fewer line per scanned entry at rank 2.
@@ -962,24 +1104,19 @@ class DynamicMatcher {
     return true;
   }
 
-  EdgeId sample_candidate(VertexId v, Rng rng, std::size_t& scanned) {
-    std::size_t seen = 0;
-    EdgeId pick = kInvalid;
-    scanned = adj_.compact_visit(
+  // Settle's one adjacency pass: compacts adj_'s chain for the free vertex
+  // pending[i] (each dead entry is dropped exactly once) and caches every
+  // free incident edge into this vertex's workspace candidate slice.
+  // Returns the scan length for work accounting.
+  std::size_t harvest_candidates(std::size_t i, VertexId v) {
+    std::uint32_t w = 0;
+    EdgeId* out = ws_.cand_pool.data() + ws_.cand_off[i];
+    std::size_t scanned = adj_.compact_visit(
         vh_[v].adj,
         [&](std::uint64_t entry) {
           if (!pool_.ref_valid(entry)) return false;  // stale: compact away
           EdgeId e = graph::EdgePool::ref_id(entry);
-          if (free_beyond(v, e)) {
-            ++seen;
-            if (cfg_.light_only) {
-              if (pick == kInvalid ||
-                  matching::detail::beats(pri_[e], e, pri_[pick], pick))
-                pick = e;
-            } else if (rng.next_below(seen) == 0) {
-              pick = e;
-            }
-          }
+          if (free_beyond(v, e)) out[w++] = e;
           return true;
         },
         // Far peek: the visitor's first-level loads are the packed pool
@@ -997,7 +1134,8 @@ class DynamicMatcher {
           for (VertexId u : pool_.vertices_if_live(e))
             if (u != v) prefetch_read(&vh_[u]);
         });
-    return pick;
+    ws_.cand_len[i] = w;
+    return scanned;
   }
 
   // unmatch with the matched-position and matched-list lines staged ahead:
@@ -1010,182 +1148,191 @@ class DynamicMatcher {
     for (EdgeId e : victims) unmatch(e);
   }
 
-  // Settles ws_.freed: rounds of concurrent sampling + one greedy claim
-  // round each, ping-ponging the pending set between ws_.freed and
-  // ws_.still. The arena resets at every round boundary (no span crosses
-  // it; the pending sets ride in the named vectors). Each round picks its
-  // execution strategy by pending size: the fused pass samples, sums the
-  // scan work, and packs survivors + draws in ONE loop; the forked pass
-  // does the same in a blocked count pass + scatter pass (the old
-  // separate sample / reduce / dual-pack phases, fused).
+  // The settle engine's reservation step (contract in
+  // prims/speculative_for.h). Items index ws_.freed; each still-free
+  // vertex prunes its cached candidate slice in place (settle only adds
+  // matches, so a candidate that goes un-free never comes back -- the
+  // prune is monotone and nothing is ever rescanned from adjacency),
+  // draws a uniform survivor keyed (vertex, settle epoch), and reserves
+  // the drawn edge's endpoints. An empty slice means settled free, which
+  // is exactly maximality at this vertex. Winners match in finalize and
+  // (unless light_only) redraw the edge's sample keyed (edge, epoch);
+  // losers carry the pruned slice into the next round and redraw there.
+  struct SettleStep {
+    DynamicMatcher& m;
+    const VertexId* pending;
+    EdgeId* choice;
+    std::size_t work = 0;     // candidate prune touches, all rounds
+    std::uint64_t epoch = 0;  // global settle epoch of the current round
+    bool seq = true;
+
+    void begin_round(std::uint64_t, bool s) {
+      seq = s;
+      epoch = ++m.settle_epoch_;
+    }
+
+    prims::SpecStatus reserve(std::size_t i, bool) {
+      VertexId v = pending[i];
+      if (m.vh_[v].taken_by != kInvalid) return prims::SpecStatus::kDone;
+      EdgeId* c = m.ws_.cand_pool.data() + m.ws_.cand_off[i];
+      std::uint32_t n = m.ws_.cand_len[i];
+      std::uint32_t w = 0;
+      for (std::uint32_t j = 0; j < n; ++j)
+        if (m.free_beyond(v, c[j])) c[w++] = c[j];
+      m.ws_.cand_len[i] = w;
+      if (seq)
+        work += n;
+      else
+        std::atomic_ref<std::size_t>(work).fetch_add(
+            n, std::memory_order_relaxed);
+      if (w == 0) return prims::SpecStatus::kDone;  // settled free: maximal
+      EdgeId e;
+      if (m.cfg_.light_only) {
+        e = c[0];
+        for (std::uint32_t j = 1; j < w; ++j)
+          if (matching::detail::beats(m.pri_[c[j]], c[j], m.pri_[e], e))
+            e = c[j];
+      } else {
+        e = c[m.settle_draw_.stream(v, epoch).next_below(w)];
+      }
+      choice[i] = e;
+      for (VertexId u : m.pool_.vertices(e))
+        prims::reserve_slot(m.vh_[u].min_edge, static_cast<std::uint32_t>(i),
+                            seq);
+      return prims::SpecStatus::kTryCommit;
+    }
+
+    bool commit(std::size_t i) {
+      EdgeId e = choice[i];
+      auto idx = static_cast<std::uint32_t>(i);
+      bool owns = true;
+      for (VertexId u : m.pool_.vertices(e))
+        owns = owns && prims::slot_holds(m.vh_[u].min_edge, idx, seq);
+      for (VertexId u : m.pool_.vertices(e))
+        if (owns || prims::slot_holds(m.vh_[u].min_edge, idx, seq))
+          prims::release_slot(m.vh_[u].min_edge, seq);
+      return owns;
+    }
+
+    void finalize(std::size_t i) {
+      EdgeId e = choice[i];
+      if (!m.cfg_.light_only) {
+        // The fresh sample (the lazy machinery's coin), keyed (edge,
+        // epoch) -- drawn only for the edge that actually matches.
+        m.pri_[e] = m.settle_pri_.word(e, epoch);
+        ++m.stats_.samples_created;
+      }
+      m.commit_arrays(e);
+      m.matched_add(e);
+      if (m.delta_sink_)
+        for (VertexId u : m.pool_.vertices(e)) m.delta_sink_->push_back(u);
+    }
+  };
+
+  // Settles ws_.freed: one adjacency harvest fills the workspace candidate
+  // cache, then the deterministic-reservations engine runs SettleStep to
+  // the fixed point. The arena resets ONCE here (the engine's retry queues
+  // and the cached slices live across rounds; every earlier-phase span is
+  // dead by now). The harvest keeps the three-stage prefetch pipeline:
+  // header + record first, then (for still-free vertices only) the chain's
+  // first chunk, then the first entries' slots and vertex rows, so each
+  // scan starts primed instead of paying a cold dependent-miss ramp.
   void settle() {
     std::vector<VertexId>& pending = ws_.freed;
-    std::vector<VertexId>& still = ws_.still;
-    while (!pending.empty()) {
-      ws_.arena.reset();
-      std::uint64_t round = ++settle_epoch_;
-      std::size_t np = pending.size();
-      charge_phases(2, np);  // fused sample/count + scatter
-      std::span<EdgeId> sampled;
-      std::size_t scanned_total = 0;
-      if (parallel::run_phase_seq(np)) {
-        auto buf = ws_.arena.alloc<EdgeId>(np);
-        still.clear();
-        std::size_t nsamp = 0;
-        auto peek_entry = [&](std::uint64_t entry) {
-          EdgeId pe = graph::EdgePool::ref_id(entry);
-          pool_.prefetch_record(pe);
-        };
-        // Three-stage prefetch pipeline across pending vertices: header +
-        // record first; then, for still-free vertices only (the rematched
-        // ones are skipped by the scan, so priming them is wasted
-        // bandwidth), the chain's first chunk; then the chain's first
-        // entries' slots and vertex rows -- so a vertex's scan starts
-        // primed instead of paying a cold dependent-miss ramp. Small
-        // pending sets run the stages as full sweeps (a rolling window
-        // shorter than the set never fires); large ones roll.
-        const bool sweep_all = np <= kSweepSmall;
-        if (sweep_all) {
-          for (std::size_t i = 0; i < np; ++i) prefetch_read(&vh_[pending[i]]);
-          for (std::size_t i = 0; i < np; ++i)
-            if (vh_[pending[i]].free())
-              adj_.prefetch_chain(vh_[pending[i]].adj);
-          for (std::size_t i = 0; i < np; ++i)
-            if (vh_[pending[i]].free())
-              adj_.peek_prefix(vh_[pending[i]].adj,
-                               graph::ChunkedAdjacency::kPeekAhead,
-                               peek_entry);
+    if (pending.empty()) return;
+    ws_.arena.reset();
+    std::size_t np = pending.size();
+
+    // Candidate-slice offsets: live_deg bounds each free vertex's harvest.
+    ws_.cand_off.resize(np);
+    ws_.cand_len.resize(np);
+    charge_phases(3, np);  // bound fill + scan up/down sweeps
+    std::span<std::uint32_t> off(ws_.cand_off.data(), np);
+    parallel::parallel_for(0, np, [&](std::size_t i) {
+      const auto& h = vh_[pending[i]];
+      off[i] = h.taken_by == kInvalid ? h.live_deg : 0;
+    });
+    std::size_t total = prims::scan_exclusive(off, ws_.arena);
+    if (ws_.cand_pool.size() < total) ws_.cand_pool.resize(total);
+
+    charge_phase(np);
+    std::size_t scanned_total = 0;
+    auto peek_entry = [&](std::uint64_t entry) {
+      pool_.prefetch_record(graph::EdgePool::ref_id(entry));
+    };
+    if (parallel::run_phase_seq(np)) {
+      const bool sweep_all = np <= kSweepSmall;
+      if (sweep_all) {
+        for (std::size_t i = 0; i < np; ++i) prefetch_read(&vh_[pending[i]]);
+        for (std::size_t i = 0; i < np; ++i)
+          if (vh_[pending[i]].free()) adj_.prefetch_chain(vh_[pending[i]].adj);
+        for (std::size_t i = 0; i < np; ++i)
+          if (vh_[pending[i]].free())
+            adj_.peek_prefix(vh_[pending[i]].adj,
+                             graph::ChunkedAdjacency::kPeekAhead, peek_entry);
+      }
+      for (std::size_t i = 0; i < np; ++i) {
+        if (!sweep_all) {
+          if (i + kPrefetchAhead < np)
+            prefetch_read(&vh_[pending[i + kPrefetchAhead]]);
+          if (i + kPrefetchAhead / 2 < np) {
+            const auto& f = vh_[pending[i + kPrefetchAhead / 2]];
+            if (f.free()) adj_.prefetch_chain(f.adj);
+          }
+          if (i + 1 < np && vh_[pending[i + 1]].free())
+            adj_.peek_prefix(vh_[pending[i + 1]].adj,
+                             graph::ChunkedAdjacency::kPeekAhead, peek_entry);
         }
-        for (std::size_t i = 0; i < np; ++i) {
-          if (!sweep_all) {
-            if (i + kPrefetchAhead < np)
-              prefetch_read(&vh_[pending[i + kPrefetchAhead]]);
-            if (i + kPrefetchAhead / 2 < np) {
-              const auto& f = vh_[pending[i + kPrefetchAhead / 2]];
-              if (f.free()) adj_.prefetch_chain(f.adj);
+        VertexId v = pending[i];
+        if (vh_[v].taken_by == kInvalid)
+          scanned_total += harvest_candidates(i, v);
+        else
+          ws_.cand_len[i] = 0;
+      }
+    } else {
+      std::size_t grain = parallel::default_grain(np);
+      std::size_t blocks = (np + grain - 1) / grain;
+      auto scn = ws_.arena.alloc<std::size_t>(blocks);
+      std::fill(scn.begin(), scn.end(), std::size_t{0});
+      parallel::parallel_for_blocked(
+          0, np,
+          [&](std::size_t b, std::size_t e) {
+            std::size_t s = 0;
+            for (std::size_t i = b; i < e; ++i) {
+              if (i + kPrefetchAhead < e)
+                prefetch_read(&vh_[pending[i + kPrefetchAhead]]);
+              if (i + kPrefetchAhead / 2 < e) {
+                const auto& f = vh_[pending[i + kPrefetchAhead / 2]];
+                if (f.free()) adj_.prefetch_chain(f.adj);
+              }
+              if (i + 1 < e && vh_[pending[i + 1]].free())
+                adj_.peek_prefix(vh_[pending[i + 1]].adj,
+                                 graph::ChunkedAdjacency::kPeekAhead,
+                                 peek_entry);
+              VertexId v = pending[i];
+              if (vh_[v].taken_by == kInvalid)
+                s += harvest_candidates(i, v);
+              else
+                ws_.cand_len[i] = 0;
             }
-            if (i + 1 < np && vh_[pending[i + 1]].free())
-              adj_.peek_prefix(vh_[pending[i + 1]].adj,
-                               graph::ChunkedAdjacency::kPeekAhead,
-                               peek_entry);
-          }
-          VertexId v = pending[i];
-          EdgeId c = kInvalid;
-          std::size_t len = 0;
-          if (vh_[v].taken_by == kInvalid)
-            c = sample_candidate(v, settle_draw_.stream(v, round), len);
-          scanned_total += len;
-          if (c != kInvalid) {
-            still.push_back(v);
-            buf[nsamp++] = c;
-          }
-        }
-        sampled = buf.first(nsamp);
-      } else {
-        std::size_t grain = parallel::default_grain(np);
-        std::size_t blocks = (np + grain - 1) / grain;
-        auto draws = ws_.arena.alloc<EdgeId>(np);
-        auto cnt = ws_.arena.alloc<std::size_t>(blocks);
-        auto scn = ws_.arena.alloc<std::size_t>(blocks);
-        std::fill(cnt.begin(), cnt.end(), 0);
-        std::fill(scn.begin(), scn.end(), 0);
-        parallel::parallel_for_blocked(
-            0, np,
-            [&](std::size_t b, std::size_t e) {
-              std::size_t c = 0, s = 0;
-              for (std::size_t i = b; i < e; ++i) {
-                if (i + kPrefetchAhead < e)
-                  prefetch_read(&vh_[pending[i + kPrefetchAhead]]);
-                if (i + kPrefetchAhead / 2 < e) {
-                  const auto& f = vh_[pending[i + kPrefetchAhead / 2]];
-                  if (f.free()) adj_.prefetch_chain(f.adj);
-                }
-                if (i + 1 < e && vh_[pending[i + 1]].free())
-                  adj_.peek_prefix(
-                      vh_[pending[i + 1]].adj,
-                      graph::ChunkedAdjacency::kPeekAhead,
-                      [&](std::uint64_t entry) {
-                        EdgeId pe = graph::EdgePool::ref_id(entry);
-                        pool_.prefetch_record(pe);
-                      });
-                VertexId v = pending[i];
-                EdgeId d = kInvalid;
-                std::size_t len = 0;
-                if (vh_[v].taken_by == kInvalid)
-                  d = sample_candidate(v, settle_draw_.stream(v, round), len);
-                draws[i] = d;
-                s += len;
-                c += d != kInvalid ? 1 : 0;
-              }
-              cnt[b / grain] = c;
-              scn[b / grain] = s;
-            },
-            grain);
-        std::size_t total = 0;
-        for (std::size_t b = 0; b < blocks; ++b) {
-          scanned_total += scn[b];
-          std::size_t c = cnt[b];
-          cnt[b] = total;
-          total += c;
-        }
-        still.resize(total);
-        auto buf = ws_.arena.alloc<EdgeId>(total);
-        parallel::parallel_for_blocked(
-            0, np,
-            [&](std::size_t b, std::size_t e) {
-              std::size_t pos = cnt[b / grain];
-              for (std::size_t i = b; i < e; ++i) {
-                if (draws[i] != kInvalid) {
-                  still[pos] = pending[i];
-                  buf[pos] = draws[i];
-                  ++pos;
-                }
-              }
-            },
-            grain);
-        sampled = buf.first(total);
-      }
-      stats_.work_units += scanned_total;
-      // Vertices with no free incident edge are settled free and drop out;
-      // the rest carried to the next round (still) and their draws run this
-      // round's claim.
-      if (sampled.empty()) {
-        pending.clear();
-        return;
-      }
-      // Two freed vertices may sample the same edge; run it once.
-      charge_phases(kRadixPhases + 1, sampled.size());
-      prims::radix_sort(sampled, [](EdgeId e) { return std::uint64_t(e); },
-                        id_bits(), ws_.arena);
-      std::span<const EdgeId> uniq;
-      if (parallel::run_phase_seq(sampled.size())) {
-        std::size_t m = 0;
-        for (std::size_t i = 0; i < sampled.size(); ++i)
-          if (i == 0 || sampled[i] != sampled[i - 1]) sampled[m++] = sampled[i];
-        uniq = sampled.first(m);
-      } else {
-        uniq = prims::dedup_sorted(std::span<const EdgeId>(sampled),
-                                   ws_.arena);
-      }
-      if (!cfg_.light_only) {
-        // Fresh samples (the lazy machinery's coin), keyed (edge, round) so
-        // the draw is one word regardless of who sampled the edge.
-        charge_phase(uniq.size());
-        parallel::parallel_for_blocked(
-            0, uniq.size(), [&](std::size_t b, std::size_t e) {
-              for (std::size_t i = b; i < e; ++i) {
-                if (i + kPrefetchAhead < e)
-                  prefetch_write(&pri_[uniq[i + kPrefetchAhead]]);
-                pri_[uniq[i]] = settle_pri_.word(uniq[i], round);
-              }
-            });
-        stats_.samples_created += uniq.size();
-      }
-      ++stats_.settle_rounds;
-      ++batch_.settle_rounds;
-      run_greedy(uniq);
-      std::swap(pending, still);
+            scn[b / grain] += s;
+          },
+          grain);
+      for (std::size_t b = 0; b < blocks; ++b) scanned_total += scn[b];
     }
+    stats_.work_units += scanned_total;
+
+    auto choice = ws_.arena.alloc<EdgeId>(np);
+    SettleStep step{*this, pending.data(), choice.data()};
+    prims::SpecStats st = prims::speculative_for(step, 0, np, ws_.arena, 0,
+                                                 &batch_.measured_depth);
+    batch_.parallel_phases += prims::kSpecRoundPhases * st.rounds;
+    stats_.settle_rounds += st.rounds;
+    batch_.settle_rounds += st.rounds;
+    stats_.spec_retries += st.retries;
+    batch_.spec_retries += st.retries;
+    stats_.work_units += step.work;
+    pending.clear();
   }
 
   Config cfg_;

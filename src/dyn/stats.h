@@ -15,7 +15,15 @@ struct CumulativeStats {
   std::size_t deletes = 0;          // edges deleted
   std::size_t work_units = 0;       // edges touched across all phases
   std::size_t samples_created = 0;  // random priorities drawn
-  std::size_t settle_rounds = 0;    // randomSettle rounds, all batches
+  std::size_t settle_rounds = 0;    // settle reserve/commit rounds, all
+                                    // batches
+  std::size_t steal_rounds = 0;     // steal reserve/commit rounds, all
+                                    // batches (1 per non-empty stealer set
+                                    // on the PARMATCH_STEAL_FIXPOINT=0
+                                    // legacy path)
+  std::size_t spec_retries = 0;     // deterministic-reservations retries
+                                    // (prims/speculative_for.h) across the
+                                    // settle, steal, and greedy engines
   std::size_t stolen = 0;           // matches displaced by a lower-priority
                                     // inserted edge (greedy-order repair)
   std::size_t bloated = 0;          // matches resettled because their
@@ -39,7 +47,9 @@ struct CumulativeStats {
 // (phases executed) x (primitive depth), the quantity Theorem 1.1 bounds
 // by O(log^3 m) whp.
 struct BatchStats {
-  std::size_t settle_rounds = 0;      // randomSettle rounds this batch
+  std::size_t settle_rounds = 0;      // settle reserve/commit rounds
+  std::size_t steal_rounds = 0;       // steal reserve/commit rounds
+  std::size_t spec_retries = 0;       // reservation retries, all engines
   std::size_t max_greedy_rounds = 0;  // deepest greedy invocation this batch
   std::size_t parallel_phases = 0;    // data-parallel phase launches
   std::size_t measured_depth = 0;     // sum of model_depth over phases

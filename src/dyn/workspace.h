@@ -9,10 +9,11 @@
 // steady-state batch performs zero heap allocations
 // (tests/test_alloc_free.cpp pins this with a counting operator new).
 //
-// Arena reset points: the start of every batch and the start of every
-// settle round. Spans handed out by the arena are dead at those points by
-// construction of the phase order (no span crosses a settle-round
-// boundary; cross-round state rides in the named vectors).
+// Arena reset points: the start of every batch and the start of settle
+// (once, before the candidate harvest -- NOT per settle round: the engine's
+// retry queues and the harvested candidate slices live across rounds).
+// Spans handed out by the arena are dead at those points by construction of
+// the phase order; cross-batch state rides in the named vectors.
 //
 // Both execution strategies of the adaptive engine (DESIGN.md S11) draw
 // from the same workspace: the fused sequential fast path carves its pair
@@ -21,6 +22,7 @@
 // every PARMATCH_EXEC_MODE.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/edge.h"
@@ -34,10 +36,17 @@ struct BatchWorkspace {
   std::vector<graph::EdgeId> ids;      // insert: ids handed back to the caller
                                        // (valid until the next batch)
   std::vector<graph::VertexId> freed;  // vertices freed this batch; doubles as
-                                       // the settle pending set (ping)
-  std::vector<graph::VertexId> still;  // settle pending set (pong)
+                                       // the settle pending set
   std::vector<graph::EdgeId> victims;  // matches displaced by steal winners
   std::vector<graph::EdgeId> matched;  // winners of one greedy invocation
+
+  // Settle candidate cache (DynamicMatcher::settle): one adjacency harvest
+  // per pending vertex fills cand_pool with its live candidates at
+  // [cand_off[i], cand_off[i] + cand_len[i]); the reservation rounds then
+  // prune each slice in place instead of rescanning adjacency every round.
+  std::vector<graph::EdgeId> cand_pool;
+  std::vector<std::uint32_t> cand_off;
+  std::vector<std::uint32_t> cand_len;
 };
 
 }  // namespace parmatch::dyn

@@ -1,34 +1,38 @@
 // matching/parallel_greedy.h -- parallelGreedyMatch (paper Lemma 1.3 /
-// Theorem 3.2): maximal hypergraph matching by random-priority local-minima
-// rounds. Every edge draws a uniform priority; each round, an edge whose
-// priority is the minimum among the still-active edges at every one of its
-// vertices joins the matching, and edges with a newly matched vertex drop
-// out. This computes exactly the sequential greedy matching for the same
-// priorities (deterministic reservations sense), in O(log m) rounds whp
-// (Fischer-Noever).
+// Theorem 3.2): maximal hypergraph matching by random priorities, computed
+// as exactly the sequential greedy matching for those priorities.
+//
+// The claim loop is an instance of the deterministic-reservations engine
+// (prims/speculative_for.h): the active edges are sorted by (priority, id)
+// -- two stable radix passes, O(n) work -- and the engine runs reserve/
+// commit rounds over a sliding prefix of that order. An edge reserves every
+// endpoint's VertexHot::min_edge slot with its ORDER INDEX (index-min =
+// priority-min, because the prefix order IS the priority order); holding
+// all slots at commit means no better in-flight edge wants any endpoint,
+// so the edge matches and takes its vertices. Losers retry in the next
+// round's prefix; edges that see a taken endpoint drop out. Lower index
+// always winning makes the result sequentially equivalent, and O(log m)
+// rounds whp follow from Fischer-Noever exactly as for the local-minima
+// formulation.
 //
 // Per-vertex state lives in the packed VertexHot record
-// (matching/vertex_hot.h): taken_by and the min_edge claim slot share a
-// cache line, and the claim loop prefetches the records kPrefetchAhead
-// iterations ahead so the batch-random vertex misses overlap.
+// (matching/vertex_hot.h): taken_by and the min_edge reservation slot share
+// a cache line. Execution strategy per round comes from
+// parallel::run_spec_round_seq (fused plain-memory rounds below the
+// speculation break-even, forked phases with CAS-min reservations above);
+// either way the matching, rounds, and retries are bit-identical.
 //
-// Each round is adaptive (parallel/cost_model.h): below the calibrated
-// cutover it runs as one fused sequential pass -- claim, winner commit, and
-// scratch reset with plain memory ops, no barriers -- above it as the
-// 5-phase data-parallel schedule. Both produce the identical matching (the
-// CAS-min and the sequential min agree by construction), so the choice is
-// invisible to everything but the clock.
-//
-// Complexity contract: O(m') expected work (the active set shrinks
-// geometrically in expectation), O(log^2 m') depth whp: O(log m') rounds of
-// O(log) span primitives. greedy_match_rounds is the reusable core the
-// dynamic matcher drives with its own persistent vertex state.
+// Complexity contract: O(m' + retries) work with E[retries] = O(m'), depth
+// O(log^2 m') whp: O(log m') rounds of O(log) span phases.
+// greedy_match_rounds is the reusable core the dynamic matcher drives with
+// its own persistent vertex state.
 #pragma once
 
 #include <algorithm>
-#include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
@@ -37,8 +41,8 @@
 #include "matching/match_result.h"
 #include "matching/vertex_hot.h"
 #include "parallel/parallel_for.h"
-#include "prims/filter.h"
-#include "util/prefetch.h"
+#include "prims/radix_sort.h"
+#include "prims/speculative_for.h"
 #include "util/rng.h"
 #include "util/scratch_arena.h"
 
@@ -52,24 +56,82 @@ inline bool beats(std::uint64_t pa, graph::EdgeId a, std::uint64_t pb,
   return pa < pb || (pa == pb && a < b);
 }
 
+// The greedy claim loop's reservation step (contract in
+// prims/speculative_for.h). Items are positions in the (priority, id)-
+// sorted order, so index-min reservations implement priority-min claims.
+struct GreedyClaimStep {
+  const graph::EdgePool& pool;
+  std::span<const graph::EdgeId> order;
+  VertexHot* vstate;
+  std::vector<graph::EdgeId>* matched_out;
+  bool seq = true;
+
+  void begin_round(std::uint64_t, bool s) { seq = s; }
+
+  prims::SpecStatus reserve(std::size_t i, bool) {
+    graph::EdgeId e = order[i];
+    // taken_by is stable within a round (written only in commit, behind a
+    // phase barrier), so this read is race-free and mode-identical.
+    for (graph::VertexId v : pool.vertices(e))
+      if (vstate[v].taken_by != graph::kInvalidEdge)
+        return prims::SpecStatus::kDone;
+    for (graph::VertexId v : pool.vertices(e))
+      prims::reserve_slot(vstate[v].min_edge, static_cast<std::uint32_t>(i),
+                          seq);
+    return prims::SpecStatus::kTryCommit;
+  }
+
+  bool commit(std::size_t i) {
+    graph::EdgeId e = order[i];
+    auto idx = static_cast<std::uint32_t>(i);
+    bool owns = true;
+    for (graph::VertexId v : pool.vertices(e))
+      owns = owns && prims::slot_holds(vstate[v].min_edge, idx, seq);
+    // Release every slot this edge holds (the winner holds all of them),
+    // restoring the min_edge == kInvalidEdge invariant for the next round;
+    // slots this edge lost are the new owner's to release.
+    for (graph::VertexId v : pool.vertices(e))
+      if (owns || prims::slot_holds(vstate[v].min_edge, idx, seq))
+        prims::release_slot(vstate[v].min_edge, seq);
+    if (!owns) return false;
+    // Winners are vertex-disjoint (each owned ALL its slots), so the
+    // taken_by writes are unconcurrent even in a forked commit phase.
+    for (graph::VertexId v : pool.vertices(e)) vstate[v].taken_by = e;
+    return true;
+  }
+
+  void finalize(std::size_t i) {
+    if (matched_out) matched_out->push_back(order[i]);
+  }
+};
+
 }  // namespace detail
 
-// Runs local-minimum rounds over `active` against caller-owned vertex state.
+// Phases charged for the (priority, id) ordering sort (two stable radix
+// passes over the active set).
+inline constexpr std::size_t kGreedySortPhases = 2;
+
+// Runs the deterministic-reservations claim loop over `active` against
+// caller-owned vertex state.
 //  * pri(e)      -- priority of edge e (stable within the call);
 //  * vstate      -- packed per-vertex records, sized >= pool.vertex_bound();
 //                   taken_by of newly matched edges is written; min_edge
 //                   must be kInvalidEdge on entry and is restored on exit;
-//  * matched_out -- newly matched ids are appended (if non-null);
-//  * arena       -- scratch for the per-round winner/survivor packs; the
+//  * matched_out -- newly matched ids are appended (if non-null) in commit
+//                   order: ascending (priority, id) within each engine
+//                   round (a retried edge can land after a later-sorted one
+//                   that committed a round earlier);
+//  * arena       -- scratch for the sort and the engine's retry queues; the
 //                   caller must keep it alive (and not reset it) for the
 //                   duration of the call;
-//  * work        -- accumulates edges touched (if non-null);
-//  * depth       -- accumulates measured span (if non-null): each round is
-//                   charged as five data-parallel primitives over the
-//                   active set, 5 * parallel::model_depth(|active|),
-//                   regardless of which execution strategy ran it.
-// Returns the number of rounds. Allocation-free given warm buffers: round
-// scratch comes from the arena, matched_out reuses its capacity.
+//  * work        -- accumulates item-rounds processed, n + retries (if
+//                   non-null);
+//  * depth       -- accumulates measured span (if non-null): the ordering
+//                   sort plus prims::kSpecRoundPhases primitives per
+//                   engine round, regardless of execution strategy;
+//  * retries     -- accumulates the engine's retry count (if non-null).
+// Returns the number of reserve/commit rounds. Allocation-free given warm
+// buffers: all scratch comes from the arena, matched_out reuses capacity.
 template <typename PriFn>
 std::size_t greedy_match_rounds(const graph::EdgePool& pool,
                                 std::span<const graph::EdgeId> active,
@@ -77,121 +139,44 @@ std::size_t greedy_match_rounds(const graph::EdgePool& pool,
                                 std::vector<graph::EdgeId>* matched_out,
                                 ScratchArena& arena,
                                 std::size_t* work = nullptr,
-                                std::size_t* depth = nullptr) {
+                                std::size_t* depth = nullptr,
+                                std::size_t* retries = nullptr) {
   using graph::EdgeId;
-  using graph::kInvalidEdge;
-  std::size_t rounds = 0;
-  while (!active.empty()) {
-    ++rounds;
-    std::size_t n = active.size();
-    if (work) *work += n;
-    if (depth) *depth += 5 * parallel::model_depth(n);
-    if (parallel::run_phase_seq(n)) {
-      if (n == 1) {
-        // A lone active edge claims every (free, by the survivor
-        // invariant) endpoint unopposed and wins: the whole round
-        // collapses to the commit. min_edge is logically written and
-        // reset within the round, so it needs no touching.
-        EdgeId e = active[0];
-        for (graph::VertexId v : pool.vertices(e)) vstate[v].taken_by = e;
-        if (matched_out) matched_out->push_back(e);
-        return rounds;
-      }
-      // Fused sequential round: one pass claims, one pass commits winners
-      // (the winner test reads only min_edge, so committing taken_by as
-      // winners are found cannot change later tests), one pass resets and
-      // packs the survivors. Plain memory everywhere.
-      for (std::size_t i = 0; i < n; ++i) {
-        if (i + kPrefetchAhead < n)
-          for (graph::VertexId v : pool.vertices(active[i + kPrefetchAhead]))
-            prefetch_write(&vstate[v]);
-        EdgeId e = active[i];
-        for (graph::VertexId v : pool.vertices(e)) {
-          EdgeId cur = vstate[v].min_edge;
-          if (cur == kInvalidEdge || detail::beats(pri(e), e, pri(cur), cur))
-            vstate[v].min_edge = e;
-        }
-      }
-      auto winners = arena.alloc<EdgeId>(n);
-      std::size_t nw = 0;
-      for (EdgeId e : active) {
-        bool owns = true;
-        for (graph::VertexId v : pool.vertices(e))
-          owns = owns && vstate[v].min_edge == e;
-        if (!owns) continue;
-        winners[nw++] = e;
-        for (graph::VertexId v : pool.vertices(e)) vstate[v].taken_by = e;
-      }
-      if (matched_out)
-        matched_out->insert(matched_out->end(), winners.begin(),
-                            winners.begin() + nw);
-      auto survivors = arena.alloc<EdgeId>(n);
-      std::size_t ns = 0;
-      for (EdgeId e : active) {
-        bool free_all = true;
-        for (graph::VertexId v : pool.vertices(e)) {
-          vstate[v].min_edge = kInvalidEdge;
-          free_all = free_all && vstate[v].taken_by == kInvalidEdge;
-        }
-        if (free_all) survivors[ns++] = e;
-      }
-      active = std::span<const EdgeId>(survivors.data(), ns);
-      continue;
-    }
-    // Claim: each active edge CAS-mins itself into every endpoint slot,
-    // with the records for a few edges ahead prefetched so the random
-    // vertex misses overlap instead of serializing.
-    parallel::parallel_for_blocked(0, n, [&](std::size_t b, std::size_t e) {
-      for (std::size_t i = b; i < e; ++i) {
-        if (i + kPrefetchAhead < e)
-          for (graph::VertexId v : pool.vertices(active[i + kPrefetchAhead]))
-            prefetch_write(&vstate[v]);
-        EdgeId ed = active[i];
-        for (graph::VertexId v : pool.vertices(ed)) {
-          std::atomic_ref<EdgeId> slot(vstate[v].min_edge);
-          EdgeId cur = slot.load(std::memory_order_relaxed);
-          while (cur == kInvalidEdge ||
-                 detail::beats(pri(ed), ed, pri(cur), cur)) {
-            if (slot.compare_exchange_weak(cur, ed,
-                                           std::memory_order_acq_rel))
-              break;
-          }
-        }
-      }
-    });
-    // Commit: winners own every endpoint slot.
-    auto winners = prims::filter_marked(
-        active,
-        [&](EdgeId e) {
-          for (graph::VertexId v : pool.vertices(e))
-            if (vstate[v].min_edge != e) return false;
-          return true;
-        },
-        arena);
-    parallel::parallel_for(0, winners.size(), [&](std::size_t i) {
-      EdgeId e = winners[i];
-      for (graph::VertexId v : pool.vertices(e)) vstate[v].taken_by = e;
-    });
-    if (matched_out)
-      matched_out->insert(matched_out->end(), winners.begin(), winners.end());
-    // Reset scratch, then keep only edges with all endpoints still free.
-    // Atomic store: several active edges share a vertex, so the same slot
-    // is reset concurrently (same value, but a race without the atomic).
-    parallel::parallel_for(0, n, [&](std::size_t i) {
-      for (graph::VertexId v : pool.vertices(active[i]))
-        std::atomic_ref<EdgeId>(vstate[v].min_edge)
-            .store(kInvalidEdge, std::memory_order_relaxed);
-    });
-    active = prims::filter_marked(
-        active,
-        [&](EdgeId e) {
-          for (graph::VertexId v : pool.vertices(e))
-            if (vstate[v].taken_by != kInvalidEdge) return false;
-          return true;
-        },
-        arena);
+  std::size_t n = active.size();
+  if (n == 0) return 0;
+  if (work) *work += n;
+  if (n == 1) {
+    // A lone candidate claims every (free, by the caller's contract)
+    // endpoint unopposed: the whole engine collapses to the commit. Taken
+    // in every exec mode, so counters stay mode-identical -- the k=1
+    // serving fast path (DESIGN.md S11).
+    EdgeId e = active[0];
+    for (graph::VertexId v : pool.vertices(e)) vstate[v].taken_by = e;
+    if (matched_out) matched_out->push_back(e);
+    if (depth) *depth += prims::kSpecRoundPhases * parallel::model_depth(1);
+    return 1;
   }
-  return rounds;
+  // Prefix order = priority order: copy, then two stable radix passes
+  // (by id, then by priority) give ascending (pri, id). The engine's
+  // index-min reservations are then exactly priority-min claims.
+  auto order = arena.alloc<EdgeId>(n);
+  parallel::parallel_for_blocked(0, n, [&](std::size_t b, std::size_t e) {
+    std::memcpy(order.data() + b, active.data() + b, (e - b) * sizeof(EdgeId));
+  });
+  int id_bits = pool.id_bound() <= 1
+                    ? 1
+                    : static_cast<int>(std::bit_width(pool.id_bound() - 1));
+  prims::radix_sort(
+      std::span<EdgeId>(order),
+      [](EdgeId e) { return static_cast<std::uint64_t>(e); }, id_bits, arena);
+  prims::radix_sort(
+      std::span<EdgeId>(order), [&](EdgeId e) { return pri(e); }, 64, arena);
+  if (depth) *depth += kGreedySortPhases * parallel::model_depth(n);
+  detail::GreedyClaimStep step{pool, order, vstate.data(), matched_out};
+  prims::SpecStats st = prims::speculative_for(step, 0, n, arena, 0, depth);
+  if (work) *work += st.retries;
+  if (retries) *retries += st.retries;
+  return st.rounds;
 }
 
 // Vector-friendly wrapper (static matcher and tests): scratch comes from a

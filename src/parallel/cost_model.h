@@ -114,6 +114,28 @@ class CostModel {
   double launch_ns() const { return launch_ns_; }
   double item_ns() const { return item_ns_; }
 
+  // True when PARMATCH_CUTOVER pinned the crossover: every derived cutover
+  // (per-roots, speculative) must then return the pin verbatim so a pinned
+  // run exercises exactly one execution shape.
+  bool pinned() const { return pinned_; }
+
+  // Break-even for one reserve/commit round of the deterministic-
+  // reservations engine (prims/speculative_for.h). The probe's trivial body
+  // understates a speculation round by a large constant -- each item does a
+  // keyed RNG draw, several shared-slot CAS/min-writes, and a candidate
+  // prune, i.e. several times the per-item cost the phase crossover was
+  // solved for -- so the true crossover sits lower by that body factor.
+  // Dividing the calibrated cutover keeps the one-probe design (no second
+  // calibration pass, nothing new to drift) while letting mid-size rounds
+  // fork. The divided value is floored at kMinSpecCutover: below that the
+  // launch tax dominates even an expensive body.
+  std::size_t spec_cutover_for(int roots) const {
+    std::size_t c = phase_cutover_for(roots);
+    if (pinned_ || c == 0) return c;  // pin / "always fork" pass through
+    c /= kSpecBodyFactor;
+    return c < kMinSpecCutover ? kMinSpecCutover : c;
+  }
+
  private:
   // Crossover clamps: below kMin the launch tax always dominates on any
   // plausible machine; above kMax even an expensive, cache-missy body has
@@ -121,12 +143,17 @@ class CostModel {
   // on the strength of a trivial-body probe.
   static constexpr std::size_t kMinCutover = 128;
   static constexpr std::size_t kMaxCutover = 1u << 15;
+  // Speculation-round body cost relative to the probe body, and the floor
+  // the divided cutover never drops below (see spec_cutover_for).
+  static constexpr std::size_t kSpecBodyFactor = 4;
+  static constexpr std::size_t kMinSpecCutover = 32;
 
   CostModel() {
     cutover_by_roots_.fill(0);
     if (const char* env = std::getenv("PARMATCH_CUTOVER")) {
       phase_cutover_ = std::strtoull(env, nullptr, 10);
       cutover_by_roots_.fill(phase_cutover_);
+      pinned_ = true;
       return;
     }
     int p = Scheduler::instance().workers();
@@ -208,6 +235,7 @@ class CostModel {
   }
 
   std::size_t phase_cutover_ = 0;
+  bool pinned_ = false;
   std::array<std::size_t, Scheduler::kMaxRoots> cutover_by_roots_{};
   double launch_ns_ = 0;
   double item_ns_ = 0;
@@ -237,6 +265,32 @@ inline bool run_phase_seq(std::size_t n) {
       int roots = s.active_roots() + (Scheduler::inside_pool() ? 0 : 1);
       if (roots < 1) roots = 1;
       return n <= CostModel::instance().phase_cutover_for(roots);
+    }
+  }
+}
+
+// The per-round decision for the deterministic-reservations engine
+// (prims/speculative_for.h): true means the round's reserve/commit/pack
+// phases all run inline on the caller with plain memory ops (the engine's
+// fused strategy), false means each phase forks. Identical shape to
+// run_phase_seq but against the speculation-round break-even, whose body is
+// several times the probe's (see CostModel::spec_cutover_for). Like every
+// execution-mode decision this never changes results or the engine's
+// round/retry counters -- a fused round replays the same reserve-all-then-
+// commit-all phase order the forked round barriers into.
+inline bool run_spec_round_seq(std::size_t n) {
+  Scheduler& s = Scheduler::instance();
+  if (s.workers() == 1) return true;
+  switch (exec_mode()) {
+    case ExecMode::kSequential:
+      return true;
+    case ExecMode::kParallel:
+      return false;
+    case ExecMode::kAdaptive:
+    default: {
+      int roots = s.active_roots() + (Scheduler::inside_pool() ? 0 : 1);
+      if (roots < 1) roots = 1;
+      return n <= CostModel::instance().spec_cutover_for(roots);
     }
   }
 }

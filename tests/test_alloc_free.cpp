@@ -18,8 +18,13 @@
 #include <new>
 #include <vector>
 
+#include <algorithm>
+#include <array>
+
 #include "dyn/dynamic_matcher.h"
 #include "gen/generators.h"
+#include "prims/speculative_for.h"
+#include "util/rng.h"
 
 namespace {
 std::atomic<std::uint64_t> g_news{0};
@@ -98,6 +103,70 @@ TEST(AllocFree, SteadyStateBatchesDoNotTouchTheHeap) {
 
   // The scratch arena really is in use (the audit is not vacuous).
   EXPECT_GT(dm.workspace().arena.capacity(), 0u);
+}
+
+// The deterministic-reservations engine's own steady state: once the arena
+// has seen one invocation's high-water footprint, identical re-runs carve
+// every retry queue and status buffer from warm memory -- zero heap
+// allocations (the engine half of the DESIGN.md S7 contract; the batch
+// pipeline half is the test above).
+TEST(AllocFree, SpeculativeForSteadyStateDoesNotTouchTheHeap) {
+  constexpr std::size_t kN = 600, kSlots = 150;
+  struct Step {
+    const std::array<std::uint32_t, 2>* wants;
+    std::uint32_t* slot;
+    std::uint32_t* owner;
+    bool seq = true;
+    void begin_round(std::uint64_t, bool s) { seq = s; }
+    parmatch::prims::SpecStatus reserve(std::size_t i, bool) {
+      for (std::uint32_t w : wants[i])
+        if (owner[w] != parmatch::prims::kEmptySpecSlot)
+          return parmatch::prims::SpecStatus::kDone;
+      for (std::uint32_t w : wants[i])
+        parmatch::prims::reserve_slot(slot[w], static_cast<std::uint32_t>(i),
+                                      seq);
+      return parmatch::prims::SpecStatus::kTryCommit;
+    }
+    bool commit(std::size_t i) {
+      auto idx = static_cast<std::uint32_t>(i);
+      bool owns = true;
+      for (std::uint32_t w : wants[i])
+        owns = owns && parmatch::prims::slot_holds(slot[w], idx, seq);
+      for (std::uint32_t w : wants[i])
+        if (owns || parmatch::prims::slot_holds(slot[w], idx, seq))
+          parmatch::prims::release_slot(slot[w], seq);
+      if (owns)
+        for (std::uint32_t w : wants[i]) owner[w] = idx;
+      return owns;
+    }
+    void finalize(std::size_t) {}
+  };
+
+  std::vector<std::array<std::uint32_t, 2>> wants(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    auto a = static_cast<std::uint32_t>(parmatch::hash64(77, 2 * i) % kSlots);
+    auto b =
+        static_cast<std::uint32_t>(parmatch::hash64(77, 2 * i + 1) % kSlots);
+    if (b == a) b = (a + 1) % kSlots;
+    wants[i] = {a, b};
+  }
+  std::vector<std::uint32_t> slot(kSlots), owner(kSlots);
+  parmatch::ScratchArena arena;
+  auto run_once = [&] {
+    arena.reset();
+    std::fill(slot.begin(), slot.end(), parmatch::prims::kEmptySpecSlot);
+    std::fill(owner.begin(), owner.end(), parmatch::prims::kEmptySpecSlot);
+    Step step{wants.data(), slot.data(), owner.data()};
+    parmatch::prims::speculative_for(step, 0, kN, arena);
+  };
+  run_once();  // warmup: the arena reaches its high-water footprint
+
+  std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  for (int pass = 0; pass < 5; ++pass) run_once();
+  std::uint64_t after = g_news.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "warm speculative_for invocations performed " << (after - before)
+      << " heap allocations";
 }
 
 }  // namespace

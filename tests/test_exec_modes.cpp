@@ -13,12 +13,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "dyn/dynamic_matcher.h"
 #include "gen/generators.h"
 #include "gen/workloads.h"
 #include "parallel/cost_model.h"
+#include "prims/speculative_for.h"
 
 using namespace parmatch;
 using graph::EdgeId;
@@ -29,9 +31,10 @@ namespace {
 // Everything trajectory-visible about one batch.
 struct BatchRecord {
   std::vector<EdgeId> matching;
-  std::size_t work_units, samples_created, settle_rounds_cum, stolen, bloated;
-  std::size_t batch_settle_rounds, max_greedy_rounds, parallel_phases,
-      measured_depth;
+  std::size_t work_units, samples_created, settle_rounds_cum, steal_rounds_cum,
+      spec_retries_cum, stolen, bloated;
+  std::size_t batch_settle_rounds, batch_steal_rounds, batch_spec_retries,
+      max_greedy_rounds, parallel_phases, measured_depth;
 
   bool operator==(const BatchRecord&) const = default;
 };
@@ -60,11 +63,11 @@ std::vector<BatchRecord> run_workload(const gen::Workload& w,
     }
     const auto& cs = dm.cumulative_stats();
     const auto& bs = dm.last_batch_stats();
-    out.push_back(BatchRecord{dm.matching(), cs.work_units,
-                              cs.samples_created, cs.settle_rounds, cs.stolen,
-                              cs.bloated, bs.settle_rounds,
-                              bs.max_greedy_rounds, bs.parallel_phases,
-                              bs.measured_depth});
+    out.push_back(BatchRecord{
+        dm.matching(), cs.work_units, cs.samples_created, cs.settle_rounds,
+        cs.steal_rounds, cs.spec_retries, cs.stolen, cs.bloated,
+        bs.settle_rounds, bs.steal_rounds, bs.spec_retries,
+        bs.max_greedy_rounds, bs.parallel_phases, bs.measured_depth});
   }
   parallel::set_exec_mode(saved);
   return out;
@@ -112,6 +115,52 @@ TEST(ExecModes, LightOnlyAblationBitIdenticalAcrossModes) {
   auto ad = run_workload(w, parallel::ExecMode::kAdaptive, true);
   expect_identical(seq, par, "light_only", 7);
   expect_identical(seq, ad, "light_only", 7);
+}
+
+// The reservation-engine knobs cross the mode equivalence: every
+// PARMATCH_SPEC_GRAIN setting and both PARMATCH_STEAL_FIXPOINT settings
+// define their OWN deterministic trajectory, and within each setting the
+// three execution modes must still agree bit for bit. (Grain changes
+// round-keyed draws; the fixpoint toggle changes the steal algorithm -- so
+// records are only compared within a knob setting, never across.)
+TEST(ExecModes, EngineKnobsPreserveModeEquivalence) {
+  std::size_t saved_grain = prims::spec_grain();
+  bool saved_fix = dyn::steal_fixpoint();
+  auto w = gen::churn(gen::erdos_renyi(350, 1'400, 41), 24, 0.45, 211);
+  for (std::size_t grain : {std::size_t{0}, std::size_t{2}, std::size_t{16}}) {
+    for (bool fix : {true, false}) {
+      prims::set_spec_grain(grain);
+      dyn::set_steal_fixpoint(fix);
+      auto seq = run_workload(w, parallel::ExecMode::kSequential);
+      auto par = run_workload(w, parallel::ExecMode::kParallel);
+      auto ad = run_workload(w, parallel::ExecMode::kAdaptive);
+      std::string tag = "grain=" + std::to_string(grain) +
+                        " fixpoint=" + std::to_string(fix);
+      expect_identical(seq, par, tag.c_str(), 24);
+      expect_identical(seq, ad, tag.c_str(), 24);
+    }
+  }
+  prims::set_spec_grain(saved_grain);
+  dyn::set_steal_fixpoint(saved_fix);
+}
+
+// The legacy one-round steal path must be observably different machinery:
+// it counts exactly one steal round per non-empty stealer set, while the
+// fixed-point engine iterates (and can retry). Matchings may legitimately
+// differ -- that is the point of the toggle -- but both must stay maximal
+// trajectories with the same insert/delete ledger.
+TEST(ExecModes, StealFixpointToggleChangesRoundAccounting) {
+  bool saved_fix = dyn::steal_fixpoint();
+  auto w = gen::churn(gen::erdos_renyi(350, 1'400, 43), 32, 0.6, 97);
+  dyn::set_steal_fixpoint(true);
+  auto fix = run_workload(w, parallel::ExecMode::kAdaptive);
+  dyn::set_steal_fixpoint(false);
+  auto legacy = run_workload(w, parallel::ExecMode::kAdaptive);
+  dyn::set_steal_fixpoint(saved_fix);
+  ASSERT_EQ(fix.size(), legacy.size());
+  // Both paths engaged the steal machinery at least once.
+  EXPECT_GT(fix.back().steal_rounds_cum, 0u);
+  EXPECT_GT(legacy.back().steal_rounds_cum, 0u);
 }
 
 // The fused_batches diagnostic must actually engage: forced-sequential

@@ -7,7 +7,9 @@
 // PARMATCH_NUM_THREADS=1, 2, and hardware concurrency, crossed with
 // PARMATCH_EXEC_MODE=adaptive/sequential/parallel and a mid-range pinned
 // PARMATCH_CUTOVER (which makes adaptive mode mix both strategies inside
-// single batches).
+// single batches). The reservation-engine knobs (PARMATCH_SPEC_GRAIN,
+// PARMATCH_STEAL_FIXPOINT) each pin their own reference trajectory and the
+// whole grid must agree within each setting.
 //
 // The worker count is frozen at first scheduler use, so one process cannot
 // observe two counts: the parent test re-executes this binary (filtered to
@@ -178,20 +180,36 @@ TEST(ThreadDeterminism, MatchingIdenticalAcrossThreadCountsAndExecModes) {
       "PARMATCH_EXEC_MODE=adaptive PARMATCH_PIPELINE=0",
       "PARMATCH_EXEC_MODE=parallel PARMATCH_PIPELINE=0",
   };
-  auto reference = run_child(counts[0], modes[0]);
-  ASSERT_FALSE(reference.empty()) << "child produced no fingerprints";
-  // Both scenarios fingerprint every batch.
-  ASSERT_GT(reference.size(), 100u);
-  for (int threads : counts) {
-    for (const std::string& mode : modes) {
-      if (threads == counts[0] && mode == modes[0]) continue;
-      auto got = run_child(threads, mode);
-      ASSERT_EQ(got.size(), reference.size())
-          << "threads=" << threads << " " << mode;
-      for (std::size_t i = 0; i < reference.size(); ++i)
-        EXPECT_EQ(got[i], reference[i])
-            << "first divergence at line " << i << " for threads=" << threads
-            << " " << mode;
+  // Reservation-engine knobs (ISSUE 7): each setting defines its OWN
+  // trajectory (grain shapes the round-keyed draws; the fixpoint toggle is
+  // an algorithm switch), so each gets its own reference, compared across
+  // the full threads x exec-mode grid. The env string is prepended verbatim
+  // to every child invocation of its grid.
+  const std::vector<std::string> knobs{
+      "",
+      "PARMATCH_SPEC_GRAIN=4",
+      "PARMATCH_STEAL_FIXPOINT=0",
+  };
+  for (const std::string& knob : knobs) {
+    auto with_knob = [&](const std::string& mode) {
+      return knob.empty() ? mode : knob + " " + mode;
+    };
+    auto reference = run_child(counts[0], with_knob(modes[0]));
+    ASSERT_FALSE(reference.empty())
+        << "child produced no fingerprints for knob '" << knob << "'";
+    // Both scenarios fingerprint every batch.
+    ASSERT_GT(reference.size(), 100u);
+    for (int threads : counts) {
+      for (const std::string& mode : modes) {
+        if (threads == counts[0] && mode == modes[0]) continue;
+        auto got = run_child(threads, with_knob(mode));
+        ASSERT_EQ(got.size(), reference.size())
+            << "threads=" << threads << " " << with_knob(mode);
+        for (std::size_t i = 0; i < reference.size(); ++i)
+          EXPECT_EQ(got[i], reference[i])
+              << "first divergence at line " << i << " for threads=" << threads
+              << " " << with_knob(mode);
+      }
     }
   }
 }
