@@ -500,10 +500,9 @@ class DynamicMatcher {
   // than the window) -- the batched-miss pattern of DESIGN.md S11.
   static constexpr std::size_t kSweepSmall = 32;
 
-  // A full-width id radix sort is <= ceil(32/8) passes of histogram +
-  // scatter; the model charge stays at the 32-bit worst case even though
-  // the sorts themselves only touch the bits the id space uses.
-  static constexpr std::size_t kRadixPhases = 8;
+  // Shared 32-bit radix-sort charge (prims/radix_sort.h); 64-bit sorts
+  // charge 2x.
+  static constexpr std::size_t kRadixPhases = prims::kRadixSortPhases32;
 
   // Bits needed to cover every allocated edge id (radix sort key width).
   int id_bits() const {
@@ -1247,7 +1246,7 @@ class DynamicMatcher {
     ws_.cand_off.resize(np);
     ws_.cand_len.resize(np);
     charge_phases(3, np);  // bound fill + scan up/down sweeps
-    std::span<std::uint32_t> off(ws_.cand_off.data(), np);
+    std::span<std::size_t> off(ws_.cand_off.data(), np);
     parallel::parallel_for(0, np, [&](std::size_t i) {
       const auto& h = vh_[pending[i]];
       off[i] = h.taken_by == kInvalid ? h.live_deg : 0;

@@ -22,6 +22,7 @@
 // every PARMATCH_EXEC_MODE.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -44,8 +45,11 @@ struct BatchWorkspace {
   // per pending vertex fills cand_pool with its live candidates at
   // [cand_off[i], cand_off[i] + cand_len[i]); the reservation rounds then
   // prune each slice in place instead of rescanning adjacency every round.
+  // cand_off is size_t: it is the exclusive scan of the pending vertices'
+  // live degrees, whose sum can exceed 32 bits even though any one slice
+  // (cand_len) cannot.
   std::vector<graph::EdgeId> cand_pool;
-  std::vector<std::uint32_t> cand_off;
+  std::vector<std::size_t> cand_off;
   std::vector<std::uint32_t> cand_len;
 };
 

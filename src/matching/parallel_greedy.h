@@ -107,9 +107,11 @@ struct GreedyClaimStep {
 
 }  // namespace detail
 
-// Phases charged for the (priority, id) ordering sort (two stable radix
-// passes over the active set).
-inline constexpr std::size_t kGreedySortPhases = 2;
+// Phases charged for the (priority, id) ordering sort: an id-width radix
+// pass (1x the 32-bit radix model) plus a full 64-bit priority pass (2x)
+// -- the same charging convention as the dynamic matcher's steal-order
+// sort, so measured_depth compares across the two claim loops.
+inline constexpr std::size_t kGreedySortPhases = 3 * prims::kRadixSortPhases32;
 
 // Runs the deterministic-reservations claim loop over `active` against
 // caller-owned vertex state.

@@ -25,6 +25,13 @@
 
 namespace parmatch::prims {
 
+// Depth-model phases charged for one full-width 32-bit radix sort:
+// ceil(32/8) passes, each a histogram + stable-scatter phase pair. The
+// charge stays at the 32-bit worst case even when a sort only touches the
+// bits its key space uses; 64-bit keys charge 2x. Every sort site uses
+// this one convention so measured_depth is comparable across phases.
+inline constexpr std::size_t kRadixSortPhases32 = 8;
+
 namespace detail {
 
 // Below this size the blocked histogram machinery (a 256-counter clear per

@@ -58,9 +58,9 @@
 #pragma once
 
 #include <atomic>
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <span>
 #include <utility>
@@ -198,18 +198,29 @@ SpecStats speculative_for(Step& step, std::size_t start, std::size_t end,
   SpecStats st;
   if (end <= start) return st;
   std::size_t n = end - start;
-  assert(end < kEmptySpecSlot);  // indices must fit a 32-bit slot
+  if (end >= kEmptySpecSlot) {
+    // Item indices are written into 32-bit reservation slots; past the
+    // empty sentinel the cast truncates and reservations silently collide,
+    // so fail loudly in every build instead of assert-only.
+    std::fprintf(stderr,
+                 "parmatch: speculative_for range end %zu does not fit the "
+                 "32-bit reservation slots\n",
+                 end);
+    std::abort();
+  }
   std::size_t cap = spec_prefix_cap(n, grain);
   if (cap > n) cap = n;
-  // Ping-pong retry queues + per-item round status, allocated once; the
-  // pack counters are sized for the worst-case block count of a cap-sized
-  // prefix so no round allocates.
+  // Ping-pong retry queues + per-item round status, allocated once. The
+  // pack grain is captured here and reused for every round: default_grain
+  // is non-monotone in n and moves with the live root count, so sizing the
+  // counters from one call and packing with another could need more blocks
+  // than were allocated.
   auto carry_a = arena.alloc<std::uint32_t>(cap);
   auto carry_b = arena.alloc<std::uint32_t>(cap);
   auto status = arena.alloc<std::uint8_t>(cap);
-  std::size_t max_blocks = (cap + parallel::default_grain(cap) - 1) /
-                           parallel::default_grain(cap);
-  auto counts = arena.alloc<std::size_t>(max_blocks ? max_blocks : 1);
+  std::size_t pack_grain = parallel::default_grain(cap);
+  std::size_t max_blocks = (cap + pack_grain - 1) / pack_grain;
+  auto counts = arena.alloc<std::size_t>(max_blocks);
 
   // Status bytes: SpecStatus::kDone (0) and kRetry (1) pass through; a
   // successful commit rewrites kTryCommit to kStCommitted. Done bytes are
@@ -265,13 +276,14 @@ SpecStats speculative_for(Step& step, std::size_t start, std::size_t end,
         if (status[i] == kStRetry)
           nxt[kept++] = static_cast<std::uint32_t>(item(i));
     } else {
-      std::size_t g2 = parallel::default_grain(size);
-      std::size_t blocks = (size + g2 - 1) / g2;
+      std::size_t blocks = (size + pack_grain - 1) / pack_grain;
       auto keep = [&](std::size_t i) { return status[i] == kStRetry; };
-      kept = detail::pack_offsets(size, g2, counts.first(blocks), keep);
+      kept =
+          detail::pack_offsets(size, pack_grain, counts.first(blocks), keep);
       detail::pack_scatter(
-          size, g2, std::span<const std::size_t>(counts.first(blocks)), nxt,
-          keep, [&](std::size_t i) {
+          size, pack_grain,
+          std::span<const std::size_t>(counts.first(blocks)), nxt, keep,
+          [&](std::size_t i) {
             return static_cast<std::uint32_t>(item(i));
           });
     }
