@@ -21,6 +21,7 @@
 #include "graph/edge_batch.h"
 #include "parallel/cost_model.h"
 #include "parallel/parallel_for.h"
+#include "util/mem_stats.h"
 #include "util/timer.h"
 
 namespace parmatch::bench {
@@ -167,12 +168,18 @@ class JsonSink {
       std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
       return;
     }
+    // rss_peak_kb: the process's high-water resident set at flush (exit)
+    // time -- the whole-run memory envelope next to the latency numbers
+    // (0 where /proc is unavailable).
     std::fprintf(f,
                  "{\"bench\":\"%s\",\"seed\":%llu,\"threads\":%d,"
-                 "\"build\":\"%s\",\"sanitizer\":\"%s\",\"exec_mode\":\"%s\"",
+                 "\"build\":\"%s\",\"sanitizer\":\"%s\",\"exec_mode\":\"%s\","
+                 "\"rss_peak_kb\":%llu",
                  name_.c_str(), static_cast<unsigned long long>(seed_),
                  parmatch::parallel::num_workers(), build_type(), sanitizer(),
-                 exec_mode_name());
+                 exec_mode_name(),
+                 static_cast<unsigned long long>(
+                     parmatch::util::peak_rss_bytes() / 1024));
     for (const auto& [key, value] : notes_) {
       std::fprintf(f, ",\"");
       for (char ch : key) {

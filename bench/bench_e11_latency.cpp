@@ -22,6 +22,7 @@
 #include "bench_common.h"
 #include "dyn/dynamic_matcher.h"
 #include "gen/generators.h"
+#include "util/latency_hist.h"
 
 using namespace parmatch;
 using namespace parmatch::bench;
@@ -132,12 +133,15 @@ int main(int argc, char** argv) {
       }
     }
 
-    std::sort(lat_us.begin(), lat_us.end());
-    double p50 = lat_us[nbatches / 2];
-    double p99 = lat_us[(nbatches * 99) / 100];
-    double mean = 0;
-    for (double v : lat_us) mean += v;
-    mean /= static_cast<double>(nbatches);
+    // Percentiles via the shared log-bucketed histogram
+    // (util/latency_hist.h, +-4.5% documented error) -- the same quantile
+    // path the serving stats use, so E11's and E12/E13's percentile
+    // semantics match; the mean is exact (tracked outside the buckets).
+    util::LatencyHistogram hist;
+    for (double v : lat_us) hist.record(v);
+    double p50 = hist.quantile(0.50);
+    double p99 = hist.quantile(0.99);
+    double mean = hist.mean();
     table.row({Table::num(k), Table::num(nbatches), Table::num(p50),
                Table::num(p99), Table::num(p50 / static_cast<double>(k)),
                Table::num(mean),

@@ -47,14 +47,8 @@ struct RowResult {
   double batch_mean = 0;
   std::size_t batch_max = 0, queue_hwm = 0;
   std::size_t updates = 0;
+  std::size_t mem_bytes = 0;  // matcher structure bytes after the run
 };
-
-double pct(std::vector<double>& v, double p) {
-  if (v.empty()) return 0;
-  std::size_t i = static_cast<std::size_t>(p * static_cast<double>(v.size()));
-  if (i >= v.size()) i = v.size() - 1;
-  return v[i];
-}
 
 // Drives one serving run: warmup (unpaced first third), then the paced
 // remainder on `arrivals` (empty = saturation: submit as fast as possible).
@@ -112,20 +106,14 @@ RowResult run_stream(const gen::Workload& w,
   double commit_secs =
       static_cast<double>(st.last_commit_ns - t0) * 1e-9;
   r.achieved_commit = static_cast<double>(n) / commit_secs;
-  std::vector<double> lat(st.latencies_us);
-  std::sort(lat.begin(), lat.end());
-  r.p50_us = pct(lat, 0.50);
-  r.p99_us = pct(lat, 0.99);
-  std::size_t total = 0;
-  for (std::size_t b : st.batch_updates) {
-    total += b;
-    if (b > r.batch_max) r.batch_max = b;
-  }
-  r.batch_mean = st.batch_updates.empty()
-                     ? 0
-                     : static_cast<double>(total) /
-                           static_cast<double>(st.batch_updates.size());
+  // Histogram quantiles: +-4.5% documented bucket error
+  // (util/latency_hist.h) -- far inside the CI gate factors.
+  r.p50_us = st.latency.quantile(0.50);
+  r.p99_us = st.latency.quantile(0.99);
+  r.batch_mean = st.mean_batch();
+  r.batch_max = st.batch_updates_max;
   r.queue_hwm = st.queue_hwm;
+  r.mem_bytes = svc.matcher().memory_bytes();
   return r;
 }
 
@@ -181,6 +169,9 @@ int main(int argc, char** argv) {
     JsonSink::instance().note(
         "max_delay_us",
         std::to_string(serve::FormerConfig::from_env().max_delay_us));
+    // Quantiles come from the fixed-footprint log-bucketed histogram;
+    // record the documented error bound next to the numbers it bounds.
+    JsonSink::instance().note("latency_quantile_rel_err", "0.045");
   }
 
   gen::Workload w =
@@ -190,14 +181,15 @@ int main(int argc, char** argv) {
 
   Table table({"arrival", "rate", "pipeline", "updates", "ach_in",
                "ach_commit", "p50_us", "p99_us", "batch_mean", "batch_max",
-               "q_hwm"});
+               "q_hwm", "mem_bytes"});
   auto emit = [&](const char* arrival, std::size_t rate, bool pipeline,
                   const RowResult& r) {
     table.row({arrival, Table::num(rate), pipeline ? "on" : "off",
                Table::num(r.updates), Table::num(r.achieved_in, 0),
                Table::num(r.achieved_commit, 0), Table::num(r.p50_us),
                Table::num(r.p99_us), Table::num(r.batch_mean, 1),
-               Table::num(r.batch_max), Table::num(r.queue_hwm)});
+               Table::num(r.batch_max), Table::num(r.queue_hwm),
+               Table::num(r.mem_bytes)});
   };
 
   for (gen::ArrivalModel model :

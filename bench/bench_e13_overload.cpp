@@ -1,0 +1,324 @@
+// E13 -- overload and graceful degradation (DESIGN.md S13). E12 measures
+// the serving front-end at offered rates it can absorb; this harness asks
+// the production question: what happens past saturation? With a shed
+// policy active (default here: reject-new) the answer must be a CHOICE,
+// not an accident -- bounded admitted-request latency, an exact account of
+// every shed request, and per-priority-class degradation (the low lane
+// sheds first, the high lane keeps its p99).
+//
+// Method: first an unpaced run measures the front-end's saturation
+// throughput on this machine. Then the sweep drives the same stream at
+// {0.5, 1, 2, 4}x that rate under four arrival shapes -- poisson, bursty,
+// flash-crowd (one sustained 8x mid-stream spike), and the targeted
+// teardown adversary of E9a/E10 (unpaced insert warmup, then a paced
+// delete storm aimed at matched edges: deletes are never shed, so
+// overload shows up as backlog and latency, not shed fraction). Updates
+// are routed to 2 priority lanes (~1/8 of traffic in the high lane; an
+// edge's insert and delete share a lane). Warmup is submitted in chunks
+// with a drain between chunks so nothing sheds before measurement starts.
+//
+// Every run self-checks exact shed conservation --
+//   offered == committed + shed_reject + shed_evict + shed_stale (per
+//   lane and in total), and committed == applied + absorbed + dropped --
+// and exits nonzero on any mismatch; CI runs the pinned 2x-saturation
+// poisson row and additionally gates the admitted p99 against
+// BENCH_baseline.json (check_latency_regression.py).
+//
+// Flags: --arrival=poisson|bursty|flash|teardown and --load=N (percent of
+// saturation, e.g. --load=200) restrict the sweep; --json records the
+// table with the measured saturation rate, policy, lanes, and budget
+// noted at the top level.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baseline/targeted.h"
+#include "bench_common.h"
+#include "gen/generators.h"
+#include "gen/workloads.h"
+#include "serve/service.h"
+
+using namespace parmatch;
+using namespace parmatch::bench;
+
+namespace {
+
+constexpr graph::VertexId kN = 16384;
+constexpr std::size_t kM = 3u * kN;
+// Much smaller per-lane rings than E12: lane depth is exactly the admitted
+// queue-wait bound under reject-new, and the bench wants that bound to be
+// visibly tight at 2x saturation. (Deep rings also hide overload entirely
+// on a stream that is half deletes: deletes are never shed, so a blocked
+// delete serializes the producer to the drain's pace and a 4096-deep ring
+// simply absorbs every burst in between.)
+constexpr std::size_t kLaneCapacity = 512;
+constexpr std::size_t kWarmChunk = 256;  // < lane share: warmup never sheds
+
+struct LaneRow {
+  std::uint64_t offered = 0, committed = 0, shed = 0;
+  double p50_us = 0, p99_us = 0;
+};
+
+struct RunResult {
+  LaneRow lane[serve::kMaxLanes];
+  LaneRow all;
+  std::size_t queue_hwm = 0;
+  std::size_t mem_bytes = 0;
+  const char* peak_state = "healthy";  // state sampled at submit-loop end
+};
+
+std::uint8_t lane_of(std::size_t edge_index, std::size_t lanes) {
+  if (lanes < 2) return 0;
+  return edge_index % 8 == 0 ? 0 : 1;  // ~12.5% high-priority traffic
+}
+
+serve::ServiceConfig make_config(std::uint64_t seed) {
+  serve::ServiceConfig cfg = serve::ServiceConfig::from_env();
+  cfg.matcher.seed = seed;
+  cfg.max_vertices = kN;
+  cfg.queue_capacity = kLaneCapacity;
+  // Bench defaults (env still wins): shedding on, two priority lanes --
+  // an overload bench under the never-shed default would only measure
+  // producer blocking.
+  if (!std::getenv("PARMATCH_SHED"))
+    cfg.admission.policy = serve::ShedPolicy::kRejectNew;
+  if (!std::getenv("PARMATCH_LANES")) cfg.admission.lanes = 2;
+  return cfg;
+}
+
+// Drives warmup (chunked, shed-free) + the paced measured phase, then
+// folds the per-lane accounting and verifies exact conservation.
+RunResult run_stream(const gen::Workload& w,
+                     const std::vector<gen::Update>& stream,
+                     const std::vector<std::uint64_t>& arrivals,
+                     std::size_t warm, std::uint64_t seed,
+                     double* achieved_commit = nullptr,
+                     bool saturation_probe = false) {
+  serve::ServiceConfig cfg = make_config(seed);
+  // The saturation probe must be CLOSED-loop. An unpaced free-running
+  // producer is the wrong probe on both ends: with shedding active it
+  // mostly measures how fast the door says no, and with blocking
+  // admission it ping-pongs yields with the drain on a time-shared core
+  // (each blocked push burns the backoff ladder against a runnable drain
+  // thread) -- both wildly underestimate commit capacity, and then the
+  // "2x/4x" sweep never actually exceeds the real saturation point. So
+  // the probe submits in sub-capacity chunks with a drain-to-idle between
+  // chunks: nothing sheds, nothing blocks, and the measured rate is the
+  // serial producer+drain cost -- exactly the closed-loop saturation of
+  // this machine.
+  if (saturation_probe) cfg.admission.policy = serve::ShedPolicy::kNone;
+  serve::MatchService svc(cfg);
+  svc.start();
+  std::size_t lanes = cfg.admission.lanes;
+
+  std::vector<std::uint64_t> ticket(w.master.size(), 0);
+  auto submit = [&](const gen::Update& u) {
+    std::uint8_t l = lane_of(u.edge, lanes);
+    if (u.is_insert) {
+      ticket[u.edge] = svc.submit_insert(w.master.edge(u.edge), l);
+    } else {
+      // An insert shed at the door returned kShedTicket: there is nothing
+      // to revoke, so the delete is skipped at the producer (stale or
+      // evicted inserts still get their delete -- it lands on a dead
+      // ticket and counts as dropped).
+      if (ticket[u.edge] == serve::MatchService::kShedTicket) return;
+      svc.submit_delete(ticket[u.edge], l);
+    }
+  };
+
+  for (std::size_t i = 0; i < warm; ++i) {
+    submit(stream[i]);
+    if ((i + 1) % kWarmChunk == 0) svc.drain_until_idle();
+  }
+  svc.drain_until_idle();
+  svc.reset_stats();
+
+  std::size_t n = stream.size() - warm;
+  std::uint64_t t0 = serve::now_ns();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!arrivals.empty()) {
+      std::uint64_t due = t0 + arrivals[i];
+      for (;;) {
+        std::uint64_t now = serve::now_ns();
+        if (now >= due) break;
+        if (due - now > 2'000) std::this_thread::yield();
+      }
+    } else if (saturation_probe && (i + 1) % kWarmChunk == 0) {
+      svc.drain_until_idle();
+    }
+    submit(stream[warm + i]);
+  }
+  RunResult r;
+  // Degradation state while the load is still applied -- after the drain
+  // it has decayed back toward healthy, which is its own (tested)
+  // property, not the overload answer.
+  r.peak_state = serve::overload_state_name(svc.overload_state());
+  svc.drain_until_idle();
+  if (achieved_commit) {
+    const serve::ServiceStats& st0 = svc.stats();
+    double secs = static_cast<double>(st0.last_commit_ns - t0) * 1e-9;
+    *achieved_commit =
+        secs > 0 ? static_cast<double>(st0.batch_updates_sum) / secs : 0;
+  }
+  svc.stop();
+
+  const serve::ServiceStats& st = svc.stats();
+  for (std::size_t l = 0; l < lanes; ++l) {
+    auto lr = svc.lane_report(l);
+    std::uint64_t shed = lr.shed_reject + lr.shed_evict + lr.shed_stale;
+    r.lane[l] = {lr.offered, lr.committed, shed, lr.latency->quantile(0.50),
+                 lr.latency->quantile(0.99)};
+    r.all.offered += lr.offered;
+    r.all.committed += lr.committed;
+    r.all.shed += shed;
+    if (lr.offered != lr.committed + shed) {
+      std::fprintf(stderr,
+                   "E13: shed conservation violated on lane %zu: offered "
+                   "%llu != committed %llu + shed %llu\n",
+                   l, static_cast<unsigned long long>(lr.offered),
+                   static_cast<unsigned long long>(lr.committed),
+                   static_cast<unsigned long long>(shed));
+      std::exit(1);
+    }
+  }
+  r.all.p50_us = st.latency.quantile(0.50);
+  r.all.p99_us = st.latency.quantile(0.99);
+  // committed == applied + absorbed + dropped: nothing admitted vanished.
+  std::uint64_t applied_total = st.applied_inserts + st.applied_deletes +
+                                st.dropped_deletes + 2 * st.annihilated +
+                                st.deduped_deletes;
+  if (r.all.committed != applied_total) {
+    std::fprintf(stderr,
+                 "E13: commit accounting violated: committed %llu != "
+                 "applied+absorbed+dropped %llu\n",
+                 static_cast<unsigned long long>(r.all.committed),
+                 static_cast<unsigned long long>(applied_total));
+    std::exit(1);
+  }
+  r.queue_hwm = st.queue_hwm;
+  r.mem_bytes = svc.matcher().memory_bytes();
+  return r;
+}
+
+struct Scenario {
+  const char* name;
+  gen::ArrivalModel model;
+  bool teardown;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = bench_init(argc, argv, "e13");
+  const char* only_arrival = nullptr;
+  std::size_t only_load_pct = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--arrival=", 10) == 0)
+      only_arrival = argv[i] + 10;
+    else if (std::strcmp(argv[i], "--arrival") == 0 && i + 1 < argc)
+      only_arrival = argv[i + 1];
+    else if (std::strncmp(argv[i], "--load=", 7) == 0)
+      only_load_pct = std::strtoull(argv[i] + 7, nullptr, 10);
+    else if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc)
+      only_load_pct = std::strtoull(argv[i + 1], nullptr, 10);
+  }
+
+  serve::ServiceConfig cfg = make_config(seed);
+  std::printf(
+      "E13: overload and graceful degradation. n=%u, m=%zu, policy=%s,\n"
+      "    lanes=%zu (lane 0 = high priority, ~1/8 of traffic), lane\n"
+      "    capacity=%zu, admit budget=%llu us. Rows: arrival shape x\n"
+      "    offered load (fraction of measured saturation) x lane.\n\n",
+      kN, kM, serve::shed_policy_name(cfg.admission.policy),
+      cfg.admission.lanes, kLaneCapacity,
+      static_cast<unsigned long long>(cfg.former.admit_budget_us));
+
+  // Streams: mixed churn for the rate-shaped arrivals; the targeted
+  // teardown adversary for the revocation storm.
+  gen::Workload churn_w =
+      gen::churn(gen::erdos_renyi(kN, kM, seed + 7), 1, 0.5, seed + 11);
+  std::vector<gen::Update> churn_stream = gen::flatten(churn_w);
+  std::size_t churn_warm = churn_stream.size() / 3;
+
+  gen::Workload teardown_w =
+      baseline::targeted_teardown(gen::erdos_renyi(kN, kM, seed + 7));
+  std::vector<gen::Update> teardown_stream = gen::flatten(teardown_w);
+  std::size_t teardown_warm = kM;  // the insert-everything prefix
+
+  // Saturation anchor: a chunked closed-loop probe (submit a sub-capacity
+  // chunk, drain to idle, repeat) measures the serial producer+drain cost
+  // per update. It is deliberately thrash-free -- no ring-full backoff, no
+  // producer/drain context-switch storm -- so it is reproducible, and it
+  // is a mild UNDER-estimate of paced capacity (pacing overlaps producer
+  // waits with drain work), which makes the sweep's "2x" a conservative
+  // label: true overload at 2x is at least as bad as what this shows.
+  double sat_rate = 0;
+  run_stream(churn_w, churn_stream, {}, churn_warm, seed, &sat_rate, true);
+  if (sat_rate <= 0) sat_rate = 1e6;
+  std::printf("measured saturation: %.0f committed updates/s\n\n", sat_rate);
+
+  JsonSink::instance().note("harness", "overload");
+  JsonSink::instance().note("saturation_per_s", Table::num(sat_rate, 0));
+  JsonSink::instance().note("policy",
+                            serve::shed_policy_name(cfg.admission.policy));
+  JsonSink::instance().note("lanes", std::to_string(cfg.admission.lanes));
+  JsonSink::instance().note("lane_capacity", std::to_string(kLaneCapacity));
+  JsonSink::instance().note("admit_budget_us",
+                            std::to_string(cfg.former.admit_budget_us));
+  JsonSink::instance().note("latency_quantile_rel_err", "0.045");
+
+  Table table({"arrival", "loadx", "lane", "offered", "accepted", "shed",
+               "shed_frac", "p50_us", "p99_us", "q_hwm", "state",
+               "mem_bytes", "bytes_per_upd"});
+
+  const Scenario scenarios[] = {
+      {"poisson", gen::ArrivalModel::kPoisson, false},
+      {"bursty", gen::ArrivalModel::kBursty, false},
+      {"flash", gen::ArrivalModel::kFlashCrowd, false},
+      {"teardown", gen::ArrivalModel::kPoisson, true},
+  };
+  const double loads[] = {0.5, 1.0, 2.0, 4.0};
+
+  for (const Scenario& sc : scenarios) {
+    if (only_arrival && std::strcmp(only_arrival, sc.name) != 0) continue;
+    const gen::Workload& w = sc.teardown ? teardown_w : churn_w;
+    const std::vector<gen::Update>& stream =
+        sc.teardown ? teardown_stream : churn_stream;
+    std::size_t warm = sc.teardown ? teardown_warm : churn_warm;
+    for (double loadx : loads) {
+      if (only_load_pct != 0 &&
+          static_cast<std::size_t>(loadx * 100.0 + 0.5) != only_load_pct)
+        continue;
+      auto arrivals =
+          gen::arrival_times_ns(stream.size() - warm, sat_rate * loadx,
+                                sc.model, seed + 13);
+      RunResult r = run_stream(w, stream, arrivals, warm, seed);
+      auto frac = [](const LaneRow& lr) {
+        return lr.offered == 0 ? 0.0
+                               : static_cast<double>(lr.shed) /
+                                     static_cast<double>(lr.offered);
+      };
+      for (std::size_t l = 0; l < cfg.admission.lanes; ++l) {
+        const LaneRow& lr = r.lane[l];
+        table.row({sc.name, Table::num(loadx, 1), Table::num(l),
+                   Table::num(lr.offered), Table::num(lr.committed),
+                   Table::num(lr.shed), Table::num(frac(lr), 4),
+                   Table::num(lr.p50_us), Table::num(lr.p99_us), "-", "-",
+                   "-", "-"});
+      }
+      double bytes_per_upd =
+          r.all.committed == 0 ? 0.0
+                               : static_cast<double>(r.mem_bytes) /
+                                     static_cast<double>(r.all.committed);
+      table.row({sc.name, Table::num(loadx, 1), "all",
+                 Table::num(r.all.offered), Table::num(r.all.committed),
+                 Table::num(r.all.shed), Table::num(frac(r.all), 4),
+                 Table::num(r.all.p50_us), Table::num(r.all.p99_us),
+                 Table::num(r.queue_hwm), r.peak_state,
+                 Table::num(r.mem_bytes), Table::num(bytes_per_upd, 1)});
+    }
+  }
+  return 0;
+}

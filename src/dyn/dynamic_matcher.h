@@ -454,6 +454,18 @@ class DynamicMatcher {
   // Scratch high-water diagnostics (tests/test_alloc_free.cpp).
   const BatchWorkspace& workspace() const { return ws_; }
 
+  // Heap bytes held by the structure proper: the edge-record pool, the
+  // adjacency chunk slabs, and the per-vertex/per-edge hot arrays (the
+  // benches' bytes-per-update accounting; scratch workspace excluded --
+  // it is bounded by the largest batch, not the graph).
+  std::size_t memory_bytes() const {
+    return pool_.memory_bytes() + adj_.memory_bytes() +
+           pri_.capacity() * sizeof(std::uint64_t) +
+           ehot_.capacity() * sizeof(EdgeHot) +
+           vh_.capacity() * sizeof(matching::VertexHot) +
+           matched_edges_.capacity() * sizeof(EdgeId);
+  }
+
  private:
   // ---- batch lifecycle -------------------------------------------------
 

@@ -113,15 +113,21 @@ inline std::vector<Update> flatten(const Workload& w) {
   return out;
 }
 
-// Arrival models for the open-loop serving benches (E12). Offsets are
+// Arrival models for the open-loop serving benches (E12/E13). Offsets are
 // nanoseconds from stream start; deterministic in (n, rate, model, seed).
-enum class ArrivalModel { kPoisson, kBursty };
+enum class ArrivalModel { kPoisson, kBursty, kFlashCrowd };
 
 // kPoisson: iid exponential inter-arrival gaps at `rate` updates/s.
 // kBursty: on/off-modulated Poisson -- arrivals only during the first
 // `duty` fraction of each `period_us` window, at rate/duty, so the
 // long-run mean rate is still `rate` but the instantaneous offered rate is
 // 1/duty times higher (the queue-absorption stress case).
+// kFlashCrowd: piecewise-rate Poisson over the UPDATE COUNT -- the first
+// 40% of updates arrive at `rate`, the middle 20% at 8x `rate` (the
+// crowd), the final 40% back at `rate`. One sustained mid-stream spike
+// rather than periodic bursts: the overload bench's shed-then-recover
+// scenario, where admission must degrade during the crowd and the state
+// machine must return to healthy afterward.
 inline std::vector<std::uint64_t> arrival_times_ns(
     std::size_t n, double rate, ArrivalModel model, std::uint64_t seed,
     double duty = 0.25, double period_us = 4000.0) {
@@ -131,12 +137,16 @@ inline std::vector<std::uint64_t> arrival_times_ns(
   double lambda = model == ArrivalModel::kBursty ? rate / duty : rate;
   double period_ns = period_us * 1000.0;
   double on_ns = period_ns * duty;
+  std::size_t crowd_lo = n * 2 / 5, crowd_hi = n * 3 / 5;
   double t = 0;
   for (std::size_t i = 0; i < n; ++i) {
+    double lam = lambda;
+    if (model == ArrivalModel::kFlashCrowd && i >= crowd_lo && i < crowd_hi)
+      lam = lambda * 8.0;
     // Exponential gap via inverse CDF; clamp u away from 0.
     double u = rng.next_double();
     if (u < 1e-12) u = 1e-12;
-    t += -std::log(u) / lambda * 1e9;
+    t += -std::log(u) / lam * 1e9;
     if (model == ArrivalModel::kBursty) {
       // Fold any arrival past the on-phase into the next period's start.
       double phase = t - std::floor(t / period_ns) * period_ns;

@@ -222,6 +222,12 @@ class ChunkedAdjacency {
     return cursor_.load(std::memory_order_relaxed);
   }
 
+  // Heap bytes held in chunk slabs (allocated slabs, whether or not every
+  // chunk is handed out yet -- the benches' memory accounting).
+  std::size_t memory_bytes() const {
+    return slabs_.size() * kSlabChunks * sizeof(Chunk);
+  }
+
  private:
   struct alignas(64) Chunk {  // whole cache lines: no cross-chunk false
     std::uint64_t entry[kChunkCap];  // sharing between concurrent owners

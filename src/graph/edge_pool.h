@@ -209,6 +209,13 @@ class EdgePool {
   std::size_t live_count() const { return live_; }
   std::size_t max_rank() const { return max_rank_; }
 
+  // Heap bytes held by the pool (record slab + free list, capacity not
+  // size -- the benches' bytes-per-update memory accounting).
+  std::size_t memory_bytes() const {
+    return data_.capacity() * sizeof(std::uint32_t) +
+           free_.capacity() * sizeof(EdgeId);
+  }
+
  private:
   std::uint32_t& gen_at(EdgeId id) {
     return data_[static_cast<std::size_t>(id) * stride_];

@@ -30,6 +30,9 @@
 //     reaches the matcher (both still count as committed for latency).
 //     FIFO ingestion guarantees a delete never precedes its insert.
 //   * duplicate deletes of one ticket collapse to the first occurrence.
+//   * with an admit budget set (PARMATCH_ADMIT_BUDGET_US), inserts older
+//     than the budget at form time are shed as stale (annihilation wins
+//     over staleness; deletes are never shed) -- see FormerConfig.
 //   * surviving inserts keep arrival order; ticket -> id mapping is the
 //     service's job (the former never talks to the matcher).
 //
@@ -39,6 +42,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
@@ -59,6 +63,14 @@ struct FormerConfig {
   // Cost-model flush size; 0 = derive from parallel::parallel_break_even()
   // at construction (the calibrated fork/join crossover).
   std::size_t cost_flush = 0;
+  // Deadline-aware admission budget (PARMATCH_ADMIT_BUDGET_US): an insert
+  // that has already waited longer than this when its window forms is shed
+  // as stale instead of applied -- under backlog its commit would land far
+  // past any SLO, so applying it only delays fresher work. 0 disables
+  // (default: every admitted insert is applied no matter how late).
+  // Deletes are exempt -- revocations must land regardless of age
+  // (serve/admission.h's never-shed-deletes rule).
+  std::uint64_t admit_budget_us = 0;
 
   // Env-var overrides, applied on top of the field defaults.
   static FormerConfig from_env() {
@@ -68,6 +80,8 @@ struct FormerConfig {
     if (c.max_batch == 0) c.max_batch = 1;
     if (const char* e = std::getenv("PARMATCH_MAX_DELAY_US"))
       c.max_delay_us = std::strtoull(e, nullptr, 10);
+    if (const char* e = std::getenv("PARMATCH_ADMIT_BUDGET_US"))
+      c.admit_budget_us = std::strtoull(e, nullptr, 10);
     return c;
   }
 };
@@ -83,12 +97,19 @@ struct FormedBatch {
   graph::EdgeBatch inserts;
   std::vector<std::uint64_t> insert_tickets;
   std::vector<std::uint64_t> insert_enqueue_ns;
+  std::vector<std::uint8_t> insert_lanes;
   std::vector<std::uint64_t> delete_tickets;
   std::vector<std::uint64_t> delete_enqueue_ns;
+  std::vector<std::uint8_t> delete_lanes;
   std::vector<std::uint64_t> absorbed_enqueue_ns;
+  std::vector<std::uint8_t> absorbed_lanes;
   std::size_t raw_requests = 0;  // window size before conflict resolution
   std::size_t annihilated = 0;   // insert+delete pairs absorbed
   std::size_t deduped = 0;       // duplicate deletes collapsed
+  std::size_t shed_stale = 0;    // inserts shed by the admit budget
+  // Per-priority-lane breakdown of this window (ServiceStats aggregates).
+  std::array<std::uint32_t, kMaxLanes> lane_requests = {};
+  std::array<std::uint32_t, kMaxLanes> lane_stale = {};
 
   std::size_t update_count() const {
     return inserts.size() + delete_tickets.size();
@@ -98,12 +119,18 @@ struct FormedBatch {
     inserts.clear();
     insert_tickets.clear();
     insert_enqueue_ns.clear();
+    insert_lanes.clear();
     delete_tickets.clear();
     delete_enqueue_ns.clear();
+    delete_lanes.clear();
     absorbed_enqueue_ns.clear();
+    absorbed_lanes.clear();
     raw_requests = 0;
     annihilated = 0;
     deduped = 0;
+    shed_stale = 0;
+    lane_requests.fill(0);
+    lane_stale.fill(0);
   }
 };
 
@@ -149,11 +176,15 @@ class BatchFormer {
   }
 
   // Conflict-resolves the window into `out` (cleared first) and resets the
-  // window. Deterministic in the window contents alone.
-  void form(FormedBatch& out) {
+  // window. Deterministic in the window contents plus `now_ns`: the
+  // steady-clock form instant drives the admit-budget staleness check
+  // (0 = skip staleness, used by callers with the budget disabled).
+  void form(FormedBatch& out, std::uint64_t now_ns = 0) {
     out.clear();
     out.raw_requests = window_.size();
     if (window_.empty()) return;
+    for (const UpdateRequest& r : window_)
+      ++out.lane_requests[r.lane < kMaxLanes ? r.lane : kMaxLanes - 1];
 
     // Tickets deleted in this window, sorted; duplicates collapse here.
     scratch_del_.clear();
@@ -162,7 +193,14 @@ class BatchFormer {
     std::sort(scratch_del_.begin(), scratch_del_.end());
 
     // Inserts whose ticket is also deleted in-window annihilate; the
-    // matching deletes are consumed with them.
+    // matching deletes are consumed with them. Annihilation is checked
+    // BEFORE staleness: a stale insert whose delete is already here
+    // absorbs normally (cheaper and equivalent -- the pair is a no-op
+    // either way, and shedding it would orphan the delete).
+    std::uint64_t stale_before =
+        cfg_.admit_budget_us != 0 && now_ns > cfg_.admit_budget_us * 1000ull
+            ? now_ns - cfg_.admit_budget_us * 1000ull
+            : 0;
     scratch_gone_.clear();
     for (const UpdateRequest& r : window_) {
       if (!r.is_insert()) continue;
@@ -171,11 +209,22 @@ class BatchFormer {
         scratch_gone_.push_back(r.ticket);
         ++out.annihilated;
         out.absorbed_enqueue_ns.push_back(r.t_enqueue_ns);
+        out.absorbed_lanes.push_back(r.lane);
+        continue;
+      }
+      if (stale_before != 0 && r.t_enqueue_ns < stale_before) {
+        // Shed stale: past its admission budget before the window even
+        // formed. Not stamped into any latency series (it never commits);
+        // its eventual delete will miss in the ticket table and count as
+        // a dropped delete -- the tolerated revoke-of-unknown path.
+        ++out.shed_stale;
+        ++out.lane_stale[r.lane < kMaxLanes ? r.lane : kMaxLanes - 1];
         continue;
       }
       out.inserts.add(std::span<const graph::VertexId>(r.v, r.rank));
       out.insert_tickets.push_back(r.ticket);
       out.insert_enqueue_ns.push_back(r.t_enqueue_ns);
+      out.insert_lanes.push_back(r.lane);
     }
     std::sort(scratch_gone_.begin(), scratch_gone_.end());
 
@@ -195,6 +244,7 @@ class BatchFormer {
       if (std::binary_search(scratch_gone_.begin(), scratch_gone_.end(),
                              r.ticket)) {
         out.absorbed_enqueue_ns.push_back(r.t_enqueue_ns);
+        out.absorbed_lanes.push_back(r.lane);
         continue;
       }
       std::size_t slot = static_cast<std::size_t>(
@@ -203,11 +253,13 @@ class BatchFormer {
       if (emitted_[slot]) {
         ++out.deduped;
         out.absorbed_enqueue_ns.push_back(r.t_enqueue_ns);
+        out.absorbed_lanes.push_back(r.lane);
         continue;
       }
       emitted_[slot] = 1;
       out.delete_tickets.push_back(r.ticket);
       out.delete_enqueue_ns.push_back(r.t_enqueue_ns);
+      out.delete_lanes.push_back(r.lane);
     }
     window_.clear();
     oldest_ns_ = std::numeric_limits<std::uint64_t>::max();

@@ -1,0 +1,121 @@
+// serve/fault_inject.h -- compiled-in fault injection for the serving
+// front-end (DESIGN.md S13). Overload protection is exactly the code that
+// normal traffic never exercises: ring-full admission decisions, shed
+// accounting under pressure, drain stages that fell behind. This harness
+// forces those paths deterministically so the fault suite and the E13
+// overload bench can hit them on any machine, including one where the
+// drain would otherwise always keep up.
+//
+// The hooks compile to constant no-ops unless the build enables them
+// (-DPARMATCH_FAULT_INJECT=ON at CMake configure time, which defines
+// PARMATCH_FAULT_INJECT for the whole interface library), so a production
+// build carries zero overhead and zero behavioral risk. With the option
+// on, each hook is still inert until its environment knob is set -- the
+// injector re-reads the environment at construction (one per
+// MatchService / AdmissionQueue), so tests can reconfigure between
+// service instances without re-execing.
+//
+// Knobs (all counts are in calls/windows on the injected site):
+//   PARMATCH_FI_RING_FULL_EVERY=N  every Nth admission attempt reports
+//                                  ring-full even when space exists --
+//                                  forces the shed/backpressure path.
+//   PARMATCH_FI_STALL_EVERY=N      every Nth applied window, the drain
+//   PARMATCH_FI_STALL_US=U         (matcher stage) first sleeps U us --
+//                                  simulates a stage that fell behind, so
+//                                  backlog, deadline flushes, and
+//                                  admission pressure build upstream.
+//   PARMATCH_FI_BURST_EVERY=N      every Nth paced submit in the E13
+//   PARMATCH_FI_BURST_LEN=K        harness fires the next K submits
+//                                  back-to-back, ignoring the arrival
+//                                  schedule -- burst amplification on top
+//                                  of any arrival model.
+//
+// Thread-safety: the call counters are relaxed atomics -- the "every Nth"
+// cadence is exact under a single caller (the drain hooks) and
+// approximately round-robin across concurrent producers, which is all a
+// fault schedule needs. Determinism note: injected faults change batch
+// PARTITIONS, not update semantics, so every correctness invariant
+// (conservation, final-graph equality, snapshot agreement) must still
+// hold with any injection active -- that is precisely what the fault
+// suite asserts.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+
+namespace parmatch::serve {
+
+class FaultInjector {
+ public:
+#if defined(PARMATCH_FAULT_INJECT)
+  FaultInjector() {
+    ring_full_every_ = env_u64("PARMATCH_FI_RING_FULL_EVERY");
+    stall_every_ = env_u64("PARMATCH_FI_STALL_EVERY");
+    stall_us_ = env_u64("PARMATCH_FI_STALL_US");
+    burst_every_ = env_u64("PARMATCH_FI_BURST_EVERY");
+    burst_len_ = env_u64("PARMATCH_FI_BURST_LEN");
+    if (burst_every_ != 0 && burst_len_ == 0) burst_len_ = 8;
+  }
+
+  bool enabled() const {
+    return ring_full_every_ | stall_every_ | burst_every_;
+  }
+
+  // Admission-site hook: true = pretend the lane ring is full this call.
+  bool force_ring_full() {
+    if (ring_full_every_ == 0) return false;
+    return admit_calls_.fetch_add(1, std::memory_order_relaxed) %
+               ring_full_every_ ==
+           ring_full_every_ - 1;
+  }
+
+  // Drain-site hook: called once per applied window by the matcher stage.
+  void maybe_stall_drain() {
+    if (stall_every_ == 0 || stall_us_ == 0) return;
+    if (windows_.fetch_add(1, std::memory_order_relaxed) % stall_every_ !=
+        stall_every_ - 1)
+      return;
+    std::this_thread::sleep_for(std::chrono::microseconds(stall_us_));
+  }
+
+  // Producer-harness hook: returns how many upcoming submits should fire
+  // unpaced (burst amplification); 0 = follow the arrival schedule.
+  std::size_t burst_amplification() {
+    if (burst_every_ == 0) return 0;
+    return submits_.fetch_add(1, std::memory_order_relaxed) %
+                       burst_every_ ==
+                   burst_every_ - 1
+               ? static_cast<std::size_t>(burst_len_)
+               : 0;
+  }
+
+ private:
+  static std::uint64_t env_u64(const char* name) {
+    const char* e = std::getenv(name);
+    return e ? std::strtoull(e, nullptr, 10) : 0;
+  }
+
+  std::uint64_t ring_full_every_ = 0;
+  std::uint64_t stall_every_ = 0;
+  std::uint64_t stall_us_ = 0;
+  std::uint64_t burst_every_ = 0;
+  std::uint64_t burst_len_ = 0;
+  std::atomic<std::uint64_t> admit_calls_{0};
+  std::atomic<std::uint64_t> windows_{0};
+  std::atomic<std::uint64_t> submits_{0};
+#else
+ public:
+  // Fault injection compiled out: every hook is a constant no-op the
+  // optimizer deletes at the call site.
+  constexpr bool enabled() const { return false; }
+  constexpr bool force_ring_full() { return false; }
+  constexpr void maybe_stall_drain() {}
+  constexpr std::size_t burst_amplification() { return 0; }
+#endif
+};
+
+}  // namespace parmatch::serve

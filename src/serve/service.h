@@ -6,7 +6,7 @@
 // Two drain topologies, same external contract:
 //
 //   pipeline (default):
-//     producers --> UpdateQueue (MPSC ring)
+//     producers --> AdmissionQueue (priority-lane MPSC rings + shed policy)
 //       --> FORMER thread:   pop + window + conflict resolution
 //       --> MATCHER thread:  insert_edges / delete_edges, ticket table,
 //                            capture the touched-vertex snapshot values
@@ -68,14 +68,31 @@
 // parks its stage threads (timed condition-variable wait after a bounded
 // spin) and costs ~zero CPU.
 //
-// Known limitation (ROADMAP open item): with
-// ServiceConfig::record_latencies (the default, intended for bench/test
-// lifetimes) ServiceStats keeps one latency sample per committed update;
-// a long-lived deployment wants record_latencies=false (or a reservoir).
-// The former ticket-table stream-growth limitation is fixed (ticket
-// recycling, tests assert the bound).
+// Overload protection (DESIGN.md S13): ingestion goes through an
+// AdmissionQueue (serve/admission.h) -- 1..kMaxLanes priority-class rings
+// with a configurable shed policy. submit_insert reports a shed
+// synchronously by returning kShedTicket; deletes are never shed. On top,
+// the former applies the deadline-aware admit budget
+// (PARMATCH_ADMIT_BUDGET_US): inserts older than the budget at form time
+// are shed as stale. Accounting is exactly conservative --
+//     offered == committed + shed_admission + shed_evict + shed_stale
+// where committed covers applied, absorbed, and dropped-dead-ticket
+// requests; the E13 bench and the admission tests gate on the equality.
+// The drain also publishes a degradation state machine
+// (overload_state(): healthy / backlogged / shedding with a shed-decay
+// hold), readable from any thread. The default configuration (1 lane,
+// policy none, no budget) is behavior-identical to the pre-admission
+// service: every request blocks under backpressure and nothing is shed.
+//
+// ServiceStats memory is bounded: latency quantiles come from fixed-size
+// log-bucketed histograms (util/latency_hist.h, +-4.5% documented
+// quantile error), never per-sample vectors, so a long-lived service's
+// stats footprint is O(1) in the stream length. The former ticket-table
+// stream-growth limitation is likewise fixed (ticket recycling, tests
+// assert the bound).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cassert>
 #include <chrono>
@@ -93,9 +110,12 @@
 
 #include "dyn/dynamic_matcher.h"
 #include "graph/edge.h"
+#include "serve/admission.h"
 #include "serve/batch_former.h"
+#include "serve/fault_inject.h"
 #include "serve/ticket_table.h"
 #include "serve/update_queue.h"
+#include "util/latency_hist.h"
 
 namespace parmatch::serve {
 
@@ -109,14 +129,18 @@ inline std::uint64_t now_ns() {
 struct ServiceConfig {
   dyn::Config matcher;
   FormerConfig former;
-  std::size_t queue_capacity = 1u << 16;
+  // Admission layer: shed policy, priority-lane count, drain weighting
+  // (serve/admission.h). The default -- 1 lane, ShedPolicy::kNone -- is
+  // behavior-identical to plain bounded-backpressure ingestion.
+  AdmissionConfig admission;
+  std::size_t queue_capacity = 1u << 16;  // per-lane ring capacity
   // Snapshot capacity: one atomic word per vertex, fixed at construction
   // so reads never race a reallocation. Submitting a vertex >= this bound
   // is a caller error (asserted in debug builds).
   graph::VertexId max_vertices = 1u << 20;
-  // Record one latency sample per committed update (the serving benches'
-  // p50/p99 source) -- stats memory then grows with the stream length
-  // (see the known-limitation note in the header). Off: only counters.
+  // Record latency histograms (the serving benches' p50/p99 source).
+  // Bounded memory either way (fixed-size log buckets); off skips the
+  // per-commit record() calls entirely -- used by the race-stress tests.
   bool record_latencies = true;
   // Three-stage pipelined drain (default) vs the single-thread serial
   // drain. Same results for a fixed window partition; PARMATCH_PIPELINE=0
@@ -126,6 +150,7 @@ struct ServiceConfig {
   static ServiceConfig from_env() {
     ServiceConfig c;
     c.former = FormerConfig::from_env();
+    c.admission = AdmissionConfig::from_env();
     if (const char* e = std::getenv("PARMATCH_PIPELINE"))
       c.pipeline = !(std::strcmp(e, "0") == 0 || std::strcmp(e, "off") == 0);
     return c;
@@ -134,15 +159,25 @@ struct ServiceConfig {
 
 // Publisher-stage-owned observables. Stable to read only when the service
 // is idle (after stop() or drain_until_idle() with producers quiesced).
+// All fields are fixed-footprint: quantiles come from log-bucketed
+// histograms (+-4.5% documented error, util/latency_hist.h), per-window
+// sizes from sum/max counters -- nothing here grows with the stream.
 struct ServiceStats {
-  std::vector<double> latencies_us;       // per committed update
-  std::vector<std::size_t> batch_updates; // updates per applied window
+  util::LatencyHistogram latency;   // ingest-to-commit, all lanes
+  std::array<util::LatencyHistogram, kMaxLanes> lane_latency;
+  std::size_t batch_updates_sum = 0;  // committed updates over all windows
+  std::size_t batch_updates_max = 0;  // largest single window
   std::size_t batches = 0;
   std::size_t applied_inserts = 0;
   std::size_t applied_deletes = 0;
   std::size_t annihilated = 0;      // insert+delete pairs absorbed in-window
   std::size_t deduped_deletes = 0;  // duplicate deletes collapsed
   std::size_t dropped_deletes = 0;  // dead/unknown tickets skipped
+  std::size_t shed_stale = 0;       // inserts shed by the admit budget
+  // Per-priority-lane commit accounting (admission-side shed counters
+  // live on the AdmissionQueue; MatchService::lane_report merges both).
+  std::array<std::uint64_t, kMaxLanes> lane_committed = {};
+  std::array<std::uint64_t, kMaxLanes> lane_shed_stale = {};
   std::size_t flush_full = 0;
   std::size_t flush_cost = 0;
   std::size_t flush_deadline = 0;
@@ -150,6 +185,12 @@ struct ServiceStats {
   std::size_t queue_hwm = 0;        // high-water mark of approx_size
   std::uint64_t first_enqueue_ns = 0;
   std::uint64_t last_commit_ns = 0;
+
+  double mean_batch() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batch_updates_sum) /
+                              static_cast<double>(batches);
+  }
 
   void clear() { *this = ServiceStats{}; }
 };
@@ -159,10 +200,16 @@ class MatchService {
   using EdgeId = graph::EdgeId;
 
  public:
+  // Producer-visible sentinel: submit_insert returns this when the
+  // admission layer shed the request (reject-new policy, full lane).
+  // Deleting kShedTicket is a no-op by construction -- it can never match
+  // a live ticket -- but callers should simply skip the delete.
+  static constexpr std::uint64_t kShedTicket = ~0ull;
+
   explicit MatchService(const ServiceConfig& cfg)
       : cfg_(capped(cfg)),
         dm_(cfg_.matcher),
-        queue_(cfg_.queue_capacity),
+        queue_(cfg_.admission, cfg_.queue_capacity, &fi_),
         former_(cfg_.former),
         snap_match_(
             std::make_unique<std::atomic<EdgeId>[]>(cfg_.max_vertices)),
@@ -226,9 +273,12 @@ class MatchService {
   // through all three stages, so every window formed before the call is
   // folded in before the clear); call only from outside the stage threads,
   // ideally when idle.
+  // (Also re-zeroes the admission-side lane counters and the overload
+  // tracking, so post-reset conservation starts from a clean slate.)
   void reset_stats() {
     if (!running_) {
       stats_.clear();
+      reset_overload_tracking();
       return;
     }
     reset_pending_.store(true, std::memory_order_release);
@@ -240,13 +290,22 @@ class MatchService {
 
   // ---- producer API (any thread) ---------------------------------------
 
-  // Submits one edge insertion; returns its ticket. Blocks (spin + yield)
-  // while the ring is full -- bounded memory, backpressure to the caller.
-  std::uint64_t submit_insert(std::span<const VertexId> vs) {
+  // Submits one edge insertion on priority lane `lane` (0 = highest, and
+  // the default). Returns its ticket, or kShedTicket when the admission
+  // policy shed the request at the door (reject-new, full lane). With the
+  // default policy (kNone) it blocks under backpressure (bounded-backoff
+  // spin) and always returns a real ticket.
+  std::uint64_t submit_insert(std::span<const VertexId> vs,
+                              std::uint8_t lane = 0) {
     assert(vs.size() >= 1 && vs.size() <= UpdateRequest::kMaxRank &&
            vs.size() <= cfg_.matcher.max_rank);
     UpdateRequest r;
     r.ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+    // Clamp ONCE at the API edge so the admission counters and the
+    // former's per-lane accounting agree on the request's class.
+    r.lane = lane < cfg_.admission.lanes
+                 ? lane
+                 : static_cast<std::uint8_t>(cfg_.admission.lanes - 1);
     // The clamp backs the assert up in release builds: an oversized span
     // is a contract violation either way, but it must never become an
     // out-of-bounds write -- neither into the inline endpoint array here
@@ -260,22 +319,29 @@ class MatchService {
       assert(vs[i] < cfg_.max_vertices);
       r.v[i] = vs[i];
     }
-    push(r);
+    if (push(r) == PushResult::kShed) return kShedTicket;
     return r.ticket;
   }
 
-  std::uint64_t submit_insert(VertexId u, VertexId v) {
+  std::uint64_t submit_insert(VertexId u, VertexId v,
+                              std::uint8_t lane = 0) {
     VertexId vs[2] = {u, v};
-    return submit_insert(std::span<const VertexId>(vs, 2));
+    return submit_insert(std::span<const VertexId>(vs, 2), lane);
   }
 
   // Revokes a previously returned ticket. Must happen after the owning
-  // submit_insert returned; deleting a ticket twice is tolerated (the
-  // second is dropped and counted in ServiceStats::dropped_deletes).
-  void submit_delete(std::uint64_t ticket) {
+  // submit_insert returned, and on the SAME lane (FIFO holds per lane);
+  // deleting a ticket twice is tolerated (the second is dropped and
+  // counted in ServiceStats::dropped_deletes), as is deleting a ticket
+  // whose insert was shed (stale or evicted) -- the revoke simply misses.
+  // Deletes are never shed: this always blocks until admitted.
+  void submit_delete(std::uint64_t ticket, std::uint8_t lane = 0) {
     UpdateRequest r;
     r.ticket = ticket;
     r.rank = 0;
+    r.lane = lane < cfg_.admission.lanes
+                 ? lane
+                 : static_cast<std::uint8_t>(cfg_.admission.lanes - 1);
     push(r);
   }
 
@@ -344,6 +410,10 @@ class MatchService {
   static ServiceConfig capped(ServiceConfig cfg) {
     if (cfg.matcher.max_rank > UpdateRequest::kMaxRank)
       cfg.matcher.max_rank = UpdateRequest::kMaxRank;
+    // Lane bounds mirrored here so the submit-side clamp and the
+    // AdmissionQueue's own clamp agree.
+    if (cfg.admission.lanes < 1) cfg.admission.lanes = 1;
+    if (cfg.admission.lanes > kMaxLanes) cfg.admission.lanes = kMaxLanes;
     return cfg;
   }
 
@@ -355,6 +425,42 @@ class MatchService {
   }
   std::uint64_t completed_updates() const {
     return completed_.load(std::memory_order_acquire);
+  }
+
+  // The degradation state machine (any thread, always current to within
+  // one drain-loop iteration). See serve/admission.h for the states.
+  OverloadState overload_state() const {
+    return overload_.load(std::memory_order_acquire);
+  }
+  std::uint64_t overload_transitions() const {
+    return overload_transitions_.load(std::memory_order_acquire);
+  }
+
+  // The admission layer's own view (per-lane offered/shed counters, lane
+  // occupancy). Counters are live atomics; exact only when idle.
+  const AdmissionQueue& admission() const { return queue_; }
+
+  // Merged per-lane accounting: admission-side counters + commit-side
+  // stats. Conservation -- offered == committed + shed_reject +
+  // shed_evict + shed_stale -- holds exactly when the service is idle and
+  // producers are quiesced (same safety rule as stats()).
+  struct LaneReport {
+    std::uint64_t offered = 0;      // submit_* calls routed to this lane
+    std::uint64_t shed_reject = 0;  // rejected at admission (reject-new)
+    std::uint64_t shed_evict = 0;   // evicted oldest (drop-oldest)
+    std::uint64_t shed_stale = 0;   // admit-budget sheds at form time
+    std::uint64_t committed = 0;    // applied + absorbed + dropped-dead
+    const util::LatencyHistogram* latency = nullptr;  // committed only
+  };
+  LaneReport lane_report(std::size_t lane) const {
+    LaneReport lr;
+    lr.offered = queue_.offered(lane);
+    lr.shed_reject = queue_.shed_reject(lane);
+    lr.shed_evict = queue_.shed_evict(lane);
+    lr.shed_stale = stats_.lane_shed_stale[lane];
+    lr.committed = stats_.lane_committed[lane];
+    lr.latency = &stats_.lane_latency[lane];
+    return lr;
   }
 
  private:
@@ -386,21 +492,25 @@ class MatchService {
   // hidden in the pipe before backpressure reaches the producers.
   static constexpr std::size_t kWindows = 4;
 
-  void push(UpdateRequest& r) {
+  PushResult push(UpdateRequest& r) {
     r.t_enqueue_ns = now_ns();
     // fetch_add BEFORE the ring push: drain_until_idle's target must cover
-    // this request once push() returns.
+    // this request once push() returns. admitted_ is bumped optimistically
+    // for the same reason -- the former's shutdown drain waits for
+    // popped == admitted_, and the count must cover a producer that has
+    // claimed but not yet landed its ring slot; a shed rolls it back.
     submitted_.fetch_add(1, std::memory_order_acq_rel);
-    std::size_t spins = 0;
-    while (!queue_.try_push(r)) {
-      // Backpressure: the ring is full. Yield so the drain stages get the
-      // core on oversubscribed machines.
-      if (++spins >= 64) {
-        std::this_thread::yield();
-        spins = 0;
-      }
+    admitted_.fetch_add(1, std::memory_order_acq_rel);
+    PushResult pr = queue_.admit(r);
+    if (pr == PushResult::kShed) {
+      // Rejected at the door: never entered a ring, terminal right here.
+      // completed_ advances so drain_until_idle's conservation holds.
+      admitted_.fetch_sub(1, std::memory_order_acq_rel);
+      completed_.fetch_add(1, std::memory_order_acq_rel);
+      return pr;
     }
     wake_former();
+    return pr;
   }
 
   // Cheap on the hot path: one relaxed-ish load; the mutex+notify only
@@ -458,16 +568,25 @@ class MatchService {
       std::size_t qs = queue_.approx_size();
       if (qs > hwm_accum) hwm_accum = qs;
       bool progressed = false;
-      while (!former_.window_full() && queue_.try_pop(r)) {
+      std::uint64_t evict_shed = 0;
+      while (!former_.window_full() &&
+             queue_.try_pop(r, &popped, &evict_shed)) {
         if (first_accum == 0) first_accum = r.t_enqueue_ns;
         former_.add(r);
-        ++popped;
+        progressed = true;
+      }
+      if (evict_shed != 0) {
+        // Drop-oldest evictions: consumed from the rings and terminal
+        // right here -- they never enter a window, so this stage, not the
+        // publisher, retires them.
+        completed_.fetch_add(evict_shed, std::memory_order_acq_rel);
         progressed = true;
       }
 
+      std::uint64_t now = now_ns();
       bool stopping = stop_.load(std::memory_order_acquire);
       FlushReason why = FlushReason::kDrain;
-      bool flush = former_.should_flush(now_ns(), &why);
+      bool flush = former_.should_flush(now, &why);
       if (!flush && stopping && !former_.empty() &&
           queue_.approx_size() == 0) {
         flush = true;
@@ -475,7 +594,8 @@ class MatchService {
       }
       if (flush) {
         Window* w = acquire_free_window();
-        former_.form(w->formed);
+        former_.form(w->formed, now);
+        drained_stale_ += w->formed.shed_stale;
         w->why = why;
         w->reset_marker = false;
         w->shutdown = false;
@@ -486,6 +606,7 @@ class MatchService {
         send_to_matcher(w);
         progressed = true;
       }
+      update_overload_state(qs, now);
 
       if (reset_pending_.load(std::memory_order_acquire)) {
         // One marker per request: reset_pending_ stays up until the
@@ -498,6 +619,7 @@ class MatchService {
           reset_sent = true;
           hwm_accum = 0;
           first_accum = 0;
+          reset_overload_tracking();
           progressed = true;
         }
       } else {
@@ -505,14 +627,15 @@ class MatchService {
       }
 
       if (!progressed) {
-        // Exit only when every SUBMITTED update has been popped, not
+        // Exit only when every ADMITTED update has been popped, not
         // merely when the ring looks empty: a producer in push() may have
-        // bumped submitted_ without having landed its ring slot yet (the
+        // bumped admitted_ without having landed its ring slot yet (the
         // counter is incremented before the push for exactly this
         // reason), and exiting then would strand its update and hang any
-        // later drain_until_idle.
+        // later drain_until_idle. (Rejected-at-the-door sheds roll
+        // admitted_ back, so they can't wedge this wait.)
         if (stopping && former_.empty() &&
-            popped == submitted_.load(std::memory_order_acquire)) {
+            popped == admitted_.load(std::memory_order_acquire)) {
           Window* w = acquire_free_window();
           w->shutdown = true;
           w->reset_marker = false;
@@ -617,23 +740,32 @@ class MatchService {
       std::size_t qs = queue_.approx_size();
       if (qs > stats_.queue_hwm) stats_.queue_hwm = qs;
       bool progressed = false;
-      while (!former_.window_full() && queue_.try_pop(r)) {
+      std::uint64_t dummy_popped = 0;
+      std::uint64_t evict_shed = 0;
+      while (!former_.window_full() &&
+             queue_.try_pop(r, &dummy_popped, &evict_shed)) {
         if (stats_.first_enqueue_ns == 0)
           stats_.first_enqueue_ns = r.t_enqueue_ns;
         former_.add(r);
         progressed = true;
       }
+      if (evict_shed != 0) {
+        completed_.fetch_add(evict_shed, std::memory_order_acq_rel);
+        progressed = true;
+      }
 
+      std::uint64_t now = now_ns();
       bool stopping = stop_.load(std::memory_order_acquire);
       FlushReason why = FlushReason::kDrain;
-      bool flush = former_.should_flush(now_ns(), &why);
+      bool flush = former_.should_flush(now, &why);
       if (!flush && stopping && !former_.empty() &&
           queue_.approx_size() == 0) {
         flush = true;
         why = FlushReason::kDrain;
       }
       if (flush) {
-        former_.form(win.formed);
+        former_.form(win.formed, now);
+        drained_stale_ += win.formed.shed_stale;
         win.why = why;
         win.queue_hwm_sample = 0;   // folded live above
         win.first_enqueue_ns = 0;   // recorded live above
@@ -641,10 +773,12 @@ class MatchService {
         publish_window(win);
         progressed = true;
       }
+      update_overload_state(qs, now);
 
       if (reset_pending_.load(std::memory_order_acquire) &&
           former_.empty()) {
         stats_.clear();
+        reset_overload_tracking();
         reset_pending_.store(false, std::memory_order_release);
       }
 
@@ -671,12 +805,51 @@ class MatchService {
     }
   }
 
+  // ---- overload state machine (drain-thread-driven) --------------------
+
+  // Quiet period after the newest shed before kShedding decays. Long
+  // enough that a sustained-overload run reads as one shedding episode,
+  // short enough that the service reports recovery within human-visible
+  // time after the burst ends.
+  static constexpr std::uint64_t kSheddingHoldNs = 10'000'000;  // 10 ms
+
+  // Called once per drain-loop iteration by the single drain thread.
+  // occupancy is the backlog sample taken at the top of the iteration;
+  // `now` the iteration's steady-clock instant.
+  void update_overload_state(std::size_t occupancy, std::uint64_t now) {
+    std::uint64_t shed = queue_.total_shed() + drained_stale_;
+    // '>' rather than '!=' so a counter reset (reset_stats) cannot fake a
+    // fresh shed: after a reset `shed` restarts below shed_seen_ and the
+    // tracking is re-zeroed by reset_overload_tracking().
+    if (shed > shed_seen_) {
+      shed_seen_ = shed;
+      last_shed_ns_ = now;
+    }
+    OverloadState s = OverloadState::kHealthy;
+    if (last_shed_ns_ != 0 && now - last_shed_ns_ < kSheddingHoldNs)
+      s = OverloadState::kShedding;
+    else if (occupancy * 2 >= queue_.capacity())
+      s = OverloadState::kBacklogged;
+    if (s != overload_.load(std::memory_order_relaxed)) {
+      overload_.store(s, std::memory_order_release);
+      overload_transitions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void reset_overload_tracking() {
+    queue_.reset_counters();  // producers are quiesced per the reset rule
+    drained_stale_ = 0;
+    shed_seen_ = 0;
+    last_shed_ns_ = 0;
+  }
+
   // ---- shared stage bodies ---------------------------------------------
 
   // Matcher-stage body: apply one formed window to the structure, resolve
   // delete tickets, and capture the touched-vertex snapshot values into
   // the window. Caller is the single matcher-owning thread of its mode.
   void apply_formed(Window& w) {
+    fi_.maybe_stall_drain();  // fault injection: simulate a lagging drain
     delta_.clear();
 
     if (!w.formed.inserts.empty()) {
@@ -731,23 +904,35 @@ class MatchService {
     if (w.queue_hwm_sample > stats_.queue_hwm)
       stats_.queue_hwm = w.queue_hwm_sample;
     if (cfg_.record_latencies) {
-      auto rec = [&](const std::vector<std::uint64_t>& ts) {
-        for (std::uint64_t t : ts)
-          stats_.latencies_us.push_back(
-              static_cast<double>(commit - t) * 1e-3);
+      auto rec = [&](const std::vector<std::uint64_t>& ts,
+                     const std::vector<std::uint8_t>& lanes) {
+        for (std::size_t i = 0; i < ts.size(); ++i) {
+          double us = static_cast<double>(commit - ts[i]) * 1e-3;
+          stats_.latency.record(us);
+          std::uint8_t l = i < lanes.size() ? lanes[i] : 0;
+          stats_.lane_latency[l < kMaxLanes ? l : kMaxLanes - 1].record(us);
+        }
       };
-      rec(w.formed.insert_enqueue_ns);
-      rec(w.formed.delete_enqueue_ns);
-      rec(w.formed.absorbed_enqueue_ns);
+      rec(w.formed.insert_enqueue_ns, w.formed.insert_lanes);
+      rec(w.formed.delete_enqueue_ns, w.formed.delete_lanes);
+      rec(w.formed.absorbed_enqueue_ns, w.formed.absorbed_lanes);
     }
     ++stats_.batches;
-    if (cfg_.record_latencies)
-      stats_.batch_updates.push_back(w.formed.update_count());
+    std::size_t upd = w.formed.update_count();
+    stats_.batch_updates_sum += upd;
+    if (upd > stats_.batch_updates_max) stats_.batch_updates_max = upd;
     stats_.applied_inserts += w.applied_inserts;
     stats_.applied_deletes += w.applied_deletes;
     stats_.dropped_deletes += w.dropped_deletes;
     stats_.annihilated += w.formed.annihilated;
     stats_.deduped_deletes += w.formed.deduped;
+    stats_.shed_stale += w.formed.shed_stale;
+    for (std::size_t l = 0; l < kMaxLanes; ++l) {
+      // Everything in the window except its stale-shed inserts commits.
+      stats_.lane_committed[l] +=
+          w.formed.lane_requests[l] - w.formed.lane_stale[l];
+      stats_.lane_shed_stale[l] += w.formed.lane_stale[l];
+    }
     switch (w.why) {
       case FlushReason::kFull: ++stats_.flush_full; break;
       case FlushReason::kCostModel: ++stats_.flush_cost; break;
@@ -759,7 +944,8 @@ class MatchService {
 
   ServiceConfig cfg_;
   dyn::DynamicMatcher dm_;
-  UpdateQueue queue_;
+  FaultInjector fi_;  // declared before queue_ (AdmissionQueue keeps &fi_)
+  AdmissionQueue queue_;
   BatchFormer former_;
 
   std::thread former_thread_;
@@ -777,7 +963,17 @@ class MatchService {
 
   std::atomic<std::uint64_t> next_ticket_{0};
   std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> admitted_{0};  // landed (or landing) in a ring
   std::atomic<std::uint64_t> completed_{0};
+
+  // Overload state machine. The tracking fields are drain-thread-owned
+  // (former / serial loop only); the state and transition count are
+  // published through atomics for any-thread reads.
+  std::uint64_t drained_stale_ = 0;   // admit-budget sheds seen by the drain
+  std::uint64_t shed_seen_ = 0;       // last total-shed count observed
+  std::uint64_t last_shed_ns_ = 0;    // instant of the newest shed
+  std::atomic<OverloadState> overload_{OverloadState::kHealthy};
+  std::atomic<std::uint64_t> overload_transitions_{0};
 
   // Matcher-stage-owned.
   TicketTable tickets_;

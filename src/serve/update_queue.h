@@ -34,11 +34,19 @@
 
 namespace parmatch::serve {
 
+// Priority-lane bound shared by the admission layer (serve/admission.h)
+// and the per-lane accounting in the former and the service stats. Lane 0
+// is the highest priority; a service configures 1..kMaxLanes lanes.
+inline constexpr std::size_t kMaxLanes = 4;
+
 // One ingested update. Inserts carry the edge's endpoints inline (rank
 // 1..kMaxRank) plus the ticket the service assigned; deletes carry rank 0
 // and the ticket of the insert they revoke. t_enqueue_ns is the
 // steady-clock submit instant -- the start of the ingest-to-commit latency
-// the serving benches report.
+// the serving benches report. `lane` is the priority class the admission
+// layer routed the request through (0 = highest); an insert and its
+// delete must use the SAME lane, since FIFO holds per lane, not across
+// lanes (serve/admission.h).
 struct UpdateRequest {
   static constexpr std::size_t kMaxRank = 4;
 
@@ -46,6 +54,7 @@ struct UpdateRequest {
   std::uint64_t t_enqueue_ns = 0;
   graph::VertexId v[kMaxRank] = {0, 0, 0, 0};
   std::uint32_t rank = 0;  // 0 = delete, else endpoint count
+  std::uint8_t lane = 0;   // priority class, 0 = highest
 
   bool is_insert() const { return rank != 0; }
 };
