@@ -48,6 +48,8 @@ struct RowResult {
   std::size_t batch_max = 0, queue_hwm = 0;
   std::size_t updates = 0;
   std::size_t mem_bytes = 0;  // matcher structure bytes after the run
+  std::uint64_t hist_overflow = 0;  // top-bucket latency clamps (clipped!)
+  std::uint64_t fi_fired = 0;       // fault injections that actually fired
 };
 
 // Drives one serving run: warmup (unpaced first third), then the paced
@@ -114,6 +116,8 @@ RowResult run_stream(const gen::Workload& w,
   r.batch_max = st.batch_updates_max;
   r.queue_hwm = st.queue_hwm;
   r.mem_bytes = svc.matcher().memory_bytes();
+  r.hist_overflow = st.latency.overflow_count();
+  r.fi_fired = svc.fault_injector().report().total();
   return r;
 }
 
@@ -182,8 +186,14 @@ int main(int argc, char** argv) {
   Table table({"arrival", "rate", "pipeline", "updates", "ach_in",
                "ach_commit", "p50_us", "p99_us", "batch_mean", "batch_max",
                "q_hwm", "mem_bytes"});
+  // Run-wide fault-injection and histogram-clipping accounting, noted at
+  // the json top level (and printed) so a CI FI smoke can assert injection
+  // actually FIRED and a clipped p99 is never silently trusted.
+  std::uint64_t fi_fired_total = 0, overflow_total = 0;
   auto emit = [&](const char* arrival, std::size_t rate, bool pipeline,
                   const RowResult& r) {
+    fi_fired_total += r.fi_fired;
+    overflow_total += r.hist_overflow;
     table.row({arrival, Table::num(rate), pipeline ? "on" : "off",
                Table::num(r.updates), Table::num(r.achieved_in, 0),
                Table::num(r.achieved_commit, 0), Table::num(r.p50_us),
@@ -209,5 +219,11 @@ int main(int argc, char** argv) {
     RowResult sat = run_stream(w, stream, {}, warm, seed, pipe);
     emit("unpaced", 0, pipe, sat);
   }
+  JsonSink::instance().note("fi_fired_total", std::to_string(fi_fired_total));
+  JsonSink::instance().note("latency_overflow_total",
+                            std::to_string(overflow_total));
+  std::printf("\nfi_fired_total=%llu latency_overflow_total=%llu\n",
+              static_cast<unsigned long long>(fi_fired_total),
+              static_cast<unsigned long long>(overflow_total));
   return 0;
 }

@@ -67,6 +67,8 @@ struct RunResult {
   std::size_t queue_hwm = 0;
   std::size_t mem_bytes = 0;
   const char* peak_state = "healthy";  // state sampled at submit-loop end
+  std::uint64_t hist_overflow = 0;  // top-bucket latency clamps (clipped!)
+  std::uint64_t fi_fired = 0;       // fault injections that actually fired
 };
 
 std::uint8_t lane_of(std::size_t edge_index, std::size_t lanes) {
@@ -199,6 +201,8 @@ RunResult run_stream(const gen::Workload& w,
   }
   r.queue_hwm = st.queue_hwm;
   r.mem_bytes = svc.matcher().memory_bytes();
+  r.hist_overflow = st.latency.overflow_count();
+  r.fi_fired = svc.fault_injector().report().total();
   return r;
 }
 
@@ -281,6 +285,11 @@ int main(int argc, char** argv) {
   };
   const double loads[] = {0.5, 1.0, 2.0, 4.0};
 
+  // Run-wide fault-injection / histogram-clipping accounting (json note +
+  // printed line): the CI FI smoke asserts fi_fired_total > 0 under its
+  // knobs, so a mis-spelled knob injecting nothing fails loudly.
+  std::uint64_t fi_fired_total = 0, overflow_total = 0;
+
   for (const Scenario& sc : scenarios) {
     if (only_arrival && std::strcmp(only_arrival, sc.name) != 0) continue;
     const gen::Workload& w = sc.teardown ? teardown_w : churn_w;
@@ -295,6 +304,8 @@ int main(int argc, char** argv) {
           gen::arrival_times_ns(stream.size() - warm, sat_rate * loadx,
                                 sc.model, seed + 13);
       RunResult r = run_stream(w, stream, arrivals, warm, seed);
+      fi_fired_total += r.fi_fired;
+      overflow_total += r.hist_overflow;
       auto frac = [](const LaneRow& lr) {
         return lr.offered == 0 ? 0.0
                                : static_cast<double>(lr.shed) /
@@ -320,5 +331,11 @@ int main(int argc, char** argv) {
                  Table::num(r.mem_bytes), Table::num(bytes_per_upd, 1)});
     }
   }
+  JsonSink::instance().note("fi_fired_total", std::to_string(fi_fired_total));
+  JsonSink::instance().note("latency_overflow_total",
+                            std::to_string(overflow_total));
+  std::printf("\nfi_fired_total=%llu latency_overflow_total=%llu\n",
+              static_cast<unsigned long long>(fi_fired_total),
+              static_cast<unsigned long long>(overflow_total));
   return 0;
 }

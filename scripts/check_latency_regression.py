@@ -20,10 +20,17 @@ the gated column with --metric, so one script gates any table bench:
       --where rate=1000000 --factor 3.0
 
 --k N is shorthand for the historical E11 call (--bench e11 --where k=N).
+
+Exit codes: 0 pass, 1 regression past the factor, 3 selection error (no
+table row matches the --where constraints / --metric column) -- so CI can
+tell "the code got slower" apart from "the gate is pointing at a row that
+no longer exists" (e.g. a renamed column or a retired sweep point).
 """
 import argparse
 import json
 import sys
+
+EXIT_NO_ROW = 3
 
 
 def cell_matches(cell, want: str) -> bool:
@@ -36,9 +43,11 @@ def cell_matches(cell, want: str) -> bool:
         return False
 
 
-def metric_at(doc: dict, metric: str, where: list) -> float:
+def metric_at(doc: dict, metric: str, where: list, source: str) -> float:
+    seen_headers = []
     for table in doc["tables"]:
         headers = table["headers"]
+        seen_headers.append(headers)
         if metric not in headers:
             continue
         if any(col not in headers for col, _ in where):
@@ -48,7 +57,16 @@ def metric_at(doc: dict, metric: str, where: list) -> float:
             if all(cell_matches(row[headers.index(c)], v) for c, v in where):
                 return float(row[mi])
     cond = ", ".join(f"{c}={v}" for c, v in where) or "(any row)"
-    raise SystemExit(f"error: no row with {cond} and column {metric}")
+    cols = "; ".join(",".join(h) for h in seen_headers) or "(no tables)"
+    print(
+        f"error: {source}: no row matching {cond} with column {metric}.\n"
+        f"  available columns: {cols}\n"
+        f"  (a --where value or --metric name no longer matches the bench's "
+        f"table -- fix the gate or re-record the baseline; this is NOT a "
+        f"latency regression)",
+        file=sys.stderr,
+    )
+    sys.exit(EXIT_NO_ROW)
 
 
 def main() -> None:
@@ -74,10 +92,20 @@ def main() -> None:
     with open(args.new_json) as f:
         new_doc = json.load(f)
     with open(args.baseline_json) as f:
-        baseline = json.load(f)["benches"][args.bench]
+        benches = json.load(f)["benches"]
+    if args.bench not in benches:
+        print(
+            f"error: {args.baseline_json}: no bench entry '{args.bench}' "
+            f"(have: {', '.join(sorted(benches))})",
+            file=sys.stderr,
+        )
+        sys.exit(EXIT_NO_ROW)
+    baseline = benches[args.bench]
 
-    new_val = metric_at(new_doc, args.metric, where)
-    base_val = metric_at(baseline, args.metric, where)
+    new_val = metric_at(new_doc, args.metric, where, args.new_json)
+    base_val = metric_at(
+        baseline, args.metric, where,
+        f"{args.baseline_json}[benches.{args.bench}]")
     cond = ", ".join(f"{c}={v}" for c, v in where)
     ratio = new_val / base_val
     print(

@@ -466,7 +466,153 @@ class DynamicMatcher {
            matched_edges_.capacity() * sizeof(EdgeId);
   }
 
+  // ---- checkpoint serialization (DESIGN.md S14) ------------------------
+  //
+  // export_state/import_state move the matcher's LOGICAL state -- every
+  // word a future batch's trajectory can depend on -- through a flat u64
+  // stream: the two RNG epoch counters (the streams themselves are
+  // stateless keyed hashes, so the counters ARE the stream positions), the
+  // pool's slot records verbatim plus its free list in order (add_edges'
+  // deterministic id assignment pops the tail back-to-front, so free-list
+  // ORDER is trajectory state), each live edge's current sample, the
+  // matched list in list order (unmatch swaps with the back, so order is
+  // observable) with each match's bloat threshold/growth, and each
+  // vertex's live incidence refs in chain order (settle's uniform draw is
+  // an index into the harvest of exactly that order). Cumulative stats,
+  // scratch workspace, and stale chain entries are deliberately NOT state:
+  // a recovered matcher replays the same trajectory bit-for-bit but may
+  // charge different compaction work_units, because import rebuilds every
+  // chain pre-compacted. Shaped for shard hand-off: the stream is
+  // position-independent and self-validating (ROADMAP scale-out item).
+  void export_state(std::vector<std::uint64_t>& out) const {
+    out.push_back(kStateMagic);
+    out.push_back(kStateVersion);
+    out.push_back(cfg_.seed);
+    out.push_back(cfg_.max_rank);
+    out.push_back(cfg_.level_gap);
+    out.push_back(cfg_.heavy_factor);
+    out.push_back(cfg_.light_only ? 1 : 0);
+    out.push_back(insert_epoch_);
+    out.push_back(settle_epoch_);
+    pool_.export_state(out);
+    std::size_t ib = pool_.id_bound();
+    out.push_back(pool_.live_count());
+    for (std::size_t id = 0; id < ib; ++id)
+      if (pool_.live(static_cast<EdgeId>(id))) out.push_back(pri_[id]);
+    out.push_back(matched_edges_.size());
+    for (EdgeId e : matched_edges_) {
+      out.push_back(e);
+      out.push_back(ehot_[e].threshold);
+      out.push_back(ehot_[e].growth);
+    }
+    std::size_t vb = vh_.size();
+    out.push_back(vb);
+    for (std::size_t v = 0; v < vb; ++v) {
+      std::size_t cnt_pos = out.size();
+      out.push_back(0);  // live-ref count, fixed up below
+      std::uint64_t cnt = 0;
+      adj_.visit(vh_[v].adj, [&](std::uint64_t ref) {
+        if (pool_.ref_valid(ref)) {
+          out.push_back(graph::EdgePool::ref_id(ref));
+          ++cnt;
+        }
+      });
+      out[cnt_pos] = cnt;  // == live_deg by the chain invariant
+    }
+  }
+
+  // Restores a stream produced by export_state into a FRESHLY constructed
+  // matcher with the same Config (the stream carries the config words and
+  // refuses a mismatch -- replaying under different knobs would silently
+  // diverge). Returns false on any malformed or inconsistent stream,
+  // leaving the matcher unusable; callers treat that as a corrupt
+  // checkpoint and fall back to an older one.
+  bool import_state(std::span<const std::uint64_t> in) {
+    assert(pool_.live_count() == 0 && insert_epoch_ == 0 &&
+           settle_epoch_ == 0 && matched_edges_.empty() &&
+           "import into a used matcher");
+    std::size_t p = 0;
+    auto need = [&](std::uint64_t n) { return in.size() - p >= n; };
+    if (!need(9)) return false;
+    if (in[p++] != kStateMagic || in[p++] != kStateVersion) return false;
+    if (in[p++] != cfg_.seed || in[p++] != cfg_.max_rank ||
+        in[p++] != cfg_.level_gap || in[p++] != cfg_.heavy_factor ||
+        in[p++] != static_cast<std::uint64_t>(cfg_.light_only ? 1 : 0))
+      return false;
+    insert_epoch_ = in[p++];
+    settle_epoch_ = in[p++];
+    std::size_t consumed = 0;
+    if (!pool_.import_state(in.subspan(p), &consumed)) return false;
+    p += consumed;
+    ensure_bounds();
+    std::size_t ib = pool_.id_bound();
+    if (!need(1)) return false;
+    std::uint64_t nlive = in[p++];
+    if (nlive != pool_.live_count() || !need(nlive)) return false;
+    for (std::size_t id = 0; id < ib; ++id)
+      if (pool_.live(static_cast<EdgeId>(id))) pri_[id] = in[p++];
+    if (!need(1)) return false;
+    std::uint64_t nm = in[p++];
+    if (nm > nlive || !need(3 * nm)) return false;
+    for (std::uint64_t i = 0; i < nm; ++i) {
+      EdgeId e = static_cast<EdgeId>(in[p++]);
+      if (!pool_.live(e) || vh_[pool_.vertices(e)[0]].taken_by != kInvalid)
+        return false;
+      EdgeHot& h = ehot_[e];
+      h.threshold = in[p++];
+      h.growth = static_cast<std::uint32_t>(in[p++]);
+      matched_add(e);
+      for (VertexId v : pool_.vertices(e)) vh_[v].taken_by = e;
+    }
+    if (!need(1)) return false;
+    std::uint64_t vb = in[p++];
+    if (vb != vh_.size()) return false;
+    // Chain rebuild: one slab reservation for the whole incidence volume,
+    // then per-vertex appends in exported order. Refs are recomputed from
+    // the restored pool (slot generations included), so only edge ids
+    // travel in the stream.
+    std::size_t total = 0;
+    for (std::size_t id = 0; id < ib; ++id)
+      if (pool_.live(static_cast<EdgeId>(id)))
+        total += pool_.rank(static_cast<EdgeId>(id));
+    adj_.reserve_for(total, static_cast<std::size_t>(vb));
+    for (std::uint64_t v = 0; v < vb; ++v) {
+      if (!need(1)) return false;
+      std::uint64_t cnt = in[p++];
+      if (!need(cnt)) return false;
+      auto& h = vh_[static_cast<std::size_t>(v)];
+      for (std::uint64_t j = 0; j < cnt; ++j) {
+        EdgeId e = static_cast<EdgeId>(in[p++]);
+        if (!pool_.live(e)) return false;
+        adj_.append(h.adj, pool_.packed_ref(e));
+      }
+      h.live_deg = static_cast<std::uint32_t>(cnt);
+    }
+    return p == in.size();
+  }
+
+  // RNG stream positions (DESIGN.md S2: the keyed streams are stateless,
+  // so these counters are the complete RNG state). The journal records
+  // them post-apply as a replay cross-check.
+  std::uint64_t insert_epochs() const { return insert_epoch_; }
+  std::uint64_t settle_epochs() const { return settle_epoch_; }
+
+  // Order-sensitive fold of exactly the exported logical state. Equal
+  // fingerprints mean equal replay trajectories (the recovery bit-identity
+  // check of DESIGN.md S14); cumulative stats, which recovery legitimately
+  // perturbs, are excluded by construction.
+  std::uint64_t state_fingerprint() const {
+    std::vector<std::uint64_t> words;
+    export_state(words);
+    std::uint64_t h = 0x5EED'F00D'CAFE'D00Dull;
+    for (std::uint64_t w : words) h = hash64(h, w);
+    return h;
+  }
+
  private:
+  static constexpr std::uint64_t kStateMagic = 0x504D'5354'4154'4531ull;
+  static constexpr std::uint64_t kStateVersion = 1;
+
   // ---- batch lifecycle -------------------------------------------------
 
   void begin_batch() {

@@ -214,6 +214,27 @@ class ChunkedAdjacency {
     return len;
   }
 
+  // Read-only walk of a chain's full entry sequence in append order (the
+  // order every deterministic draw indexes into -- DESIGN.md S2), for the
+  // checkpoint exporter and the state fingerprint (DESIGN.md S14). No
+  // compaction, no mutation.
+  template <typename F>
+  void visit(const AdjHead& h, F&& f) const {
+    std::size_t len = h.len;
+    if (len == 0) return;
+    std::uint32_t c = h.head;
+    const Chunk* ch = &chunk_at(c);
+    std::size_t i = 0;
+    for (std::size_t k = 0; k < len; ++k) {
+      if (i == kChunkCap) {
+        c = ch->next;
+        ch = &chunk_at(c);
+        i = 0;
+      }
+      f(ch->entry[i++]);
+    }
+  }
+
   // How far the scan's far peek cursor runs ahead of the visit cursor.
   static constexpr std::size_t kPeekAhead = 4;
 

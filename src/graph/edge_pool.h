@@ -216,6 +216,64 @@ class EdgePool {
            free_.capacity() * sizeof(EdgeId);
   }
 
+  // --- checkpoint serialization (DESIGN.md S14) -------------------------
+  //
+  // The pool's id-assignment determinism contract (add_edges pops the free
+  // list back-to-front, then fresh ids) means bit-identical replay needs
+  // the free list IN ORDER and every slot's generation -- not just the
+  // live edges. The record slab is therefore dumped verbatim: dead slots
+  // carry their generation (rank 0), live slots carry everything.
+  // Word stream layout, all u64:
+  //   [nslots][vertex_bound][live][nfree][free ids...][data words packed
+  //    2 x u32 per u64, (nslots * stride + 1) / 2 words]
+  void export_state(std::vector<std::uint64_t>& out) const {
+    out.push_back(nslots_);
+    out.push_back(vertex_bound_);
+    out.push_back(live_);
+    out.push_back(free_.size());
+    for (EdgeId id : free_) out.push_back(id);
+    const std::size_t nwords = nslots_ * stride_;
+    for (std::size_t i = 0; i < nwords; i += 2) {
+      std::uint64_t w = data_[i];
+      if (i + 1 < nwords) w |= static_cast<std::uint64_t>(data_[i + 1]) << 32;
+      out.push_back(w);
+    }
+  }
+
+  // Restores a stream produced by export_state on a pool constructed with
+  // the SAME max_rank (the stream has no stride of its own). Only valid on
+  // a fresh pool. Returns false on a malformed stream; `consumed` gets the
+  // number of words read on success.
+  bool import_state(std::span<const std::uint64_t> in, std::size_t* consumed) {
+    assert(nslots_ == 0 && live_ == 0 && "import into a used pool");
+    if (in.size() < 4) return false;
+    const std::size_t nslots = static_cast<std::size_t>(in[0]);
+    const std::size_t vb = static_cast<std::size_t>(in[1]);
+    const std::size_t live = static_cast<std::size_t>(in[2]);
+    const std::size_t nfree = static_cast<std::size_t>(in[3]);
+    const std::size_t nwords = nslots * stride_;
+    const std::size_t ndata = (nwords + 1) / 2;
+    if (nfree > nslots || live + nfree > nslots) return false;
+    if (in.size() < 4 + nfree + ndata) return false;
+    std::size_t p = 4;
+    free_.assign(in.begin() + p, in.begin() + p + nfree);
+    for (EdgeId id : free_)
+      if (id >= nslots) return false;
+    p += nfree;
+    data_.resize(nwords);
+    for (std::size_t i = 0; i < nwords; i += 2) {
+      std::uint64_t w = in[p + i / 2];
+      data_[i] = static_cast<std::uint32_t>(w);
+      if (i + 1 < nwords) data_[i + 1] = static_cast<std::uint32_t>(w >> 32);
+    }
+    p += ndata;
+    nslots_ = nslots;
+    vertex_bound_ = static_cast<VertexId>(vb);
+    live_ = live;
+    if (consumed) *consumed = p;
+    return true;
+  }
+
  private:
   std::uint32_t& gen_at(EdgeId id) {
     return data_[static_cast<std::size_t>(id) * stride_];

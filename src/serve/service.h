@@ -92,6 +92,7 @@
 // assert the bound).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cassert>
@@ -101,6 +102,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -112,7 +114,9 @@
 #include "graph/edge.h"
 #include "serve/admission.h"
 #include "serve/batch_former.h"
+#include "serve/checkpoint.h"
 #include "serve/fault_inject.h"
+#include "serve/journal.h"
 #include "serve/ticket_table.h"
 #include "serve/update_queue.h"
 #include "util/latency_hist.h"
@@ -146,6 +150,11 @@ struct ServiceConfig {
   // drain. Same results for a fixed window partition; PARMATCH_PIPELINE=0
   // selects serial from the environment.
   bool pipeline = true;
+  // Durability layer (DESIGN.md S14): write-ahead batch journal +
+  // periodic checkpoints (serve/journal.h, serve/checkpoint.h). The
+  // default -- policy off -- is the pre-S14 service: no journal I/O, no
+  // recovery at construction.
+  JournalConfig journal;
 
   static ServiceConfig from_env() {
     ServiceConfig c;
@@ -153,6 +162,7 @@ struct ServiceConfig {
     c.admission = AdmissionConfig::from_env();
     if (const char* e = std::getenv("PARMATCH_PIPELINE"))
       c.pipeline = !(std::strcmp(e, "0") == 0 || std::strcmp(e, "off") == 0);
+    c.journal = JournalConfig::from_env();
     return c;
   }
 };
@@ -223,6 +233,13 @@ class MatchService {
       pool_[i] = std::make_unique<Window>();
       free_ring_.try_push(pool_[i].get());
     }
+    if (cfg_.journal.enabled()) {
+      std::error_code ec;
+      std::filesystem::create_directories(cfg_.journal.dir, ec);
+      recover();
+      journal_.open(cfg_.journal);
+      ckpt_writer_.start(cfg_.journal.dir);
+    }
   }
 
   ~MatchService() { stop(); }
@@ -243,6 +260,13 @@ class MatchService {
     } else {
       former_thread_ = std::thread([this] { serial_drain_loop(); });
     }
+    // Async durability: the timed group sync runs on its own thread so an
+    // fdatasync never sits in any drain stage's critical path. Commit
+    // policy needs no syncer -- the publisher's ensure_durable barrier
+    // owns the device there.
+    if (journal_.active() &&
+        cfg_.journal.policy == JournalPolicy::kAsync)
+      syncer_thread_ = std::thread([this] { syncer_loop(); });
   }
 
   // Drains everything already submitted, then joins. Idempotent.
@@ -251,11 +275,20 @@ class MatchService {
     stop_.store(true, std::memory_order_release);
     wake_former();
     wake_stages();
+    {
+      std::lock_guard<std::mutex> lk(sync_mu_);
+      sync_cv_.notify_all();
+    }
     former_thread_.join();
     if (cfg_.pipeline) {
       matcher_thread_.join();
       publisher_thread_.join();
     }
+    if (syncer_thread_.joinable()) syncer_thread_.join();
+    // Clean-shutdown barrier: every appended record becomes durable
+    // regardless of policy (stage threads are joined, so the writer fd is
+    // quiescent), and any pending checkpoint finishes on its own thread.
+    journal_.sync_all();
     running_ = false;
   }
 
@@ -463,6 +496,51 @@ class MatchService {
     return lr;
   }
 
+  // ---- durability / recovery (DESIGN.md S14) ---------------------------
+
+  // The fault injector wired through admission, drain, and journal (fired
+  // counters via fi_.report(); all-zero when injection is compiled out).
+  const FaultInjector& fault_injector() const { return fi_; }
+
+  // The write-ahead journal (appended/durable watermarks, sync and byte
+  // counters; inert when the policy is off).
+  const Journal& journal() const { return journal_; }
+
+  std::uint64_t checkpoints_written() const { return ckpt_writer_.written(); }
+  // Snapshots dropped because the background writer was still busy --
+  // checkpoint lag lengthens replay but never stalls the drain.
+  std::uint64_t checkpoints_skipped() const { return ckpt_skipped_; }
+
+  // What construction-time recovery did (all-default when the journal is
+  // off or the directory was empty: a cold start).
+  struct RecoveryInfo {
+    bool ran = false;  // a checkpoint was imported or a record replayed
+    std::uint64_t checkpoint_seqno = 0;  // 0 = no (valid) checkpoint found
+    std::uint64_t replayed_windows = 0;  // journal records re-applied
+    // Post-apply epoch cross-checks that missed during replay. Always 0
+    // on an intact log; nonzero means the log and the matcher disagree
+    // about the trajectory (a logic bug or a cross-version file).
+    std::uint64_t epoch_mismatches = 0;
+    bool import_failed = false;  // frame-valid checkpoint failed import
+  };
+  const RecoveryInfo& recovery_info() const { return recovery_; }
+
+  // Order-canonical digest of the durable logical state: the matcher's
+  // state fingerprint folded with the sorted live (ticket, edge id)
+  // pairs. Equal fingerprints between a crashed+recovered service and an
+  // uncrashed one are the bit-identity acceptance check (DESIGN.md S14).
+  // Same idle-only safety rule as matcher().
+  std::uint64_t recovery_fingerprint() const {
+    std::vector<std::pair<std::uint64_t, EdgeId>> ts;
+    tickets_.for_each(
+        [&](std::uint64_t t, EdgeId id) { ts.emplace_back(t, id); });
+    std::sort(ts.begin(), ts.end());
+    std::uint64_t h = dm_.state_fingerprint();
+    h = hash64(h, ts.size());
+    for (const auto& [t, id] : ts) h = hash64(h, hash64(t, id));
+    return h;
+  }
+
  private:
   // One in-flight unit of the pipeline. The former fills `formed` (plus
   // the bookkeeping samples), the matcher stage fills the applied counts
@@ -485,6 +563,10 @@ class MatchService {
     std::size_t applied_inserts = 0;
     std::size_t applied_deletes = 0;
     std::size_t dropped_deletes = 0;
+    // Journal sequence number of this window, 0 when it was not journaled
+    // (journal off, or an all-absorbed window). The publisher's
+    // commit-policy durability barrier keys on it.
+    std::uint64_t seqno = 0;
   };
 
   // Window pool depth = how far the former may run ahead of the matcher.
@@ -880,6 +962,21 @@ class MatchService {
     }
     w.matched_count = dm_.matched_count();
     w.has_publish = !delta_.empty() || w.formed.update_count() != 0;
+
+    // Journal the committed window (DESIGN.md S14). The FormedBatch is
+    // post-shed and post-annihilation, so sheds never enter the journal by
+    // construction; an all-absorbed window (update_count 0) leaves no
+    // matcher state behind and is not worth a record. The epochs recorded
+    // are POST-apply -- replay's per-record cross-check. Durability (when
+    // the policy demands it) is the publisher's job, keyed on w.seqno.
+    w.seqno = 0;
+    if (journal_.active() && w.formed.update_count() != 0) {
+      std::uint64_t seq = ++window_seqno_;
+      journal_.append_window(w.formed, seq, dm_.insert_epochs(),
+                             dm_.settle_epochs(), fi_);
+      w.seqno = seq;
+      maybe_checkpoint();
+    }
   }
 
   // Publisher-stage body: epoch-seqlock publish of the captured values,
@@ -894,6 +991,15 @@ class MatchService {
       snap_matched_.store(w.matched_count, std::memory_order_release);
       epoch_.store(e + 2, std::memory_order_seq_cst);
     }
+
+    // Durability barrier BEFORE the commit instant is stamped: under
+    // policy commit, a window's completion (and its recorded latency)
+    // includes the group fsync that made its journal record durable --
+    // nothing is acknowledged ahead of the device. Under async this is a
+    // no-op: the background syncer thread owns the timed group sync, so
+    // the drain never blocks on the device (on one core a publisher-side
+    // fdatasync would stall the whole pipeline for its duration).
+    if (w.seqno != 0) journal_.ensure_durable(w.seqno);
 
     // Commit instant: every request of this window (applied or absorbed)
     // is now observable through the snapshot.
@@ -942,6 +1048,118 @@ class MatchService {
     completed_.fetch_add(w.formed.raw_requests, std::memory_order_acq_rel);
   }
 
+  // ---- durability (DESIGN.md S14) --------------------------------------
+
+  // Construction-time recovery: import the newest valid checkpoint (if
+  // any) into the fresh matcher, then replay the journal suffix with
+  // seqno greater than the checkpoint's through the NORMAL batch path --
+  // the same insert_edges / ticket take / delete_edges sequence
+  // apply_formed runs -- so the recovered trajectory is the uncrashed one
+  // bit-for-bit (the keyed RNG streams make the epoch counters the whole
+  // RNG position; the recovery tests check via recovery_fingerprint).
+  // Runs strictly before any stage thread exists.
+  void recover() {
+    std::uint64_t ticket_bound = 0;
+    CheckpointData ck;
+    if (load_newest_checkpoint(cfg_.journal.dir, ck)) {
+      if (!dm_.import_state(
+              std::span<const std::uint64_t>(ck.matcher_words))) {
+        // A frame-valid checkpoint that fails matcher-level validation can
+        // only be a logic bug or a cross-version file. The matcher may be
+        // partially populated, so stop and surface it rather than replay
+        // on top.
+        recovery_.import_failed = true;
+        return;
+      }
+      recovery_.ran = true;
+      recovery_.checkpoint_seqno = ck.seqno;
+      window_seqno_ = ck.seqno;
+      ticket_bound = ck.next_ticket;
+      for (const auto& [t, id] : ck.tickets) tickets_.put(t, id);
+    }
+    JournalReplay rp(cfg_.journal.dir);
+    JournalRecord rec;
+    while (rp.next(rec)) {
+      if (rec.seqno <= recovery_.checkpoint_seqno) continue;
+      recovery_.ran = true;
+      delta_.clear();
+      if (!rec.inserts.empty()) {
+        auto ids = dm_.insert_edges(rec.inserts);
+        for (std::size_t i = 0; i < ids.size(); ++i)
+          tickets_.put(rec.insert_tickets[i], ids[i]);
+      }
+      del_ids_.clear();
+      for (std::uint64_t t : rec.delete_tickets) {
+        EdgeId id = tickets_.take(t);
+        if (id != graph::kInvalidEdge) del_ids_.push_back(id);
+      }
+      if (!del_ids_.empty())
+        dm_.delete_edges(std::span<const EdgeId>(del_ids_));
+      if (dm_.insert_epochs() != rec.insert_epoch ||
+          dm_.settle_epochs() != rec.settle_epoch)
+        ++recovery_.epoch_mismatches;
+      ++recovery_.replayed_windows;
+      window_seqno_ = rec.seqno;
+      for (std::uint64_t t : rec.insert_tickets)
+        if (t + 1 > ticket_bound) ticket_bound = t + 1;
+    }
+    delta_.clear();
+    // Safe upper bound: the pre-crash run may have handed out higher
+    // tickets (sheds consume tickets but never journal); all that matters
+    // is that no new ticket collides with a journaled or live one.
+    next_ticket_.store(ticket_bound, std::memory_order_release);
+    if (recovery_.ran) {
+      // Rebuild the published snapshot from the recovered matcher. Single
+      // threaded here, but the epoch still moves odd -> even so the
+      // seqlock invariant holds from the first published state on.
+      std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+      epoch_.store(e + 1, std::memory_order_seq_cst);
+      for (VertexId v = 0; v < cfg_.max_vertices; ++v)
+        snap_match_[v].store(dm_.match_of(v), std::memory_order_relaxed);
+      snap_matched_.store(dm_.matched_count(), std::memory_order_release);
+      epoch_.store(e + 2, std::memory_order_seq_cst);
+    }
+  }
+
+  // Matcher-stage checkpoint cadence: every ckpt_every journaled windows,
+  // serialize the matcher + ticket table BETWEEN windows (an in-memory
+  // walk; the matcher thread owns both structures right here) and hand
+  // the snapshot to the background writer, which does all disk I/O. If
+  // the writer is still busy the snapshot is skipped and counted, never
+  // queued.
+  void maybe_checkpoint() {
+    if (cfg_.journal.ckpt_every == 0) return;
+    if (++windows_since_ckpt_ < cfg_.journal.ckpt_every) return;
+    windows_since_ckpt_ = 0;
+    CheckpointData d;
+    d.seqno = window_seqno_;
+    d.next_ticket = next_ticket_.load(std::memory_order_acquire);
+    dm_.export_state(d.matcher_words);
+    tickets_.for_each(
+        [&](std::uint64_t t, EdgeId id) { d.tickets.emplace_back(t, id); });
+    std::sort(d.tickets.begin(), d.tickets.end());
+    if (!ckpt_writer_.submit(std::move(d))) ++ckpt_skipped_;
+  }
+
+  // Async-policy durability thread: one fdatasync per fsync_every_us,
+  // entirely off the drain's critical path. Writes to the journal fd
+  // (matcher-stage appends) compose with fdatasync from here without
+  // extra locking -- the kernel orders them -- and Journal's durable_seq_
+  // accounting is a CAS-max over atomics. Commit policy never starts this
+  // thread; there the publisher's per-window ensure_durable barrier is
+  // the only syncer.
+  void syncer_loop() {
+    std::unique_lock<std::mutex> lk(sync_mu_);
+    while (!stop_.load(std::memory_order_acquire)) {
+      sync_cv_.wait_for(lk,
+                        std::chrono::microseconds(cfg_.journal.fsync_every_us));
+      if (stop_.load(std::memory_order_acquire)) break;
+      lk.unlock();
+      journal_.sync_all();
+      lk.lock();
+    }
+  }
+
   ServiceConfig cfg_;
   dyn::DynamicMatcher dm_;
   FaultInjector fi_;  // declared before queue_ (AdmissionQueue keeps &fi_)
@@ -951,6 +1169,9 @@ class MatchService {
   std::thread former_thread_;
   std::thread matcher_thread_;
   std::thread publisher_thread_;
+  std::thread syncer_thread_;        // async journal policy only
+  std::mutex sync_mu_;               // syncer sleep/wake handshake
+  std::condition_variable sync_cv_;
   bool running_ = false;
   std::atomic<bool> stop_{false};
   std::atomic<bool> reset_pending_{false};
@@ -979,6 +1200,17 @@ class MatchService {
   TicketTable tickets_;
   std::vector<EdgeId> del_ids_;
   std::vector<VertexId> delta_;  // matcher's per-window touched vertices
+
+  // Durability layer (DESIGN.md S14). The journal fd is shared between
+  // the matcher stage (appends) and the publisher stage (syncs) -- its
+  // watermarks are atomics; the seqno/cadence fields below are
+  // matcher-stage-owned after construction.
+  Journal journal_;
+  CheckpointWriter ckpt_writer_;
+  std::uint64_t window_seqno_ = 0;       // last journaled window
+  std::uint64_t windows_since_ckpt_ = 0;
+  std::uint64_t ckpt_skipped_ = 0;       // writer-busy checkpoint skips
+  RecoveryInfo recovery_;
 
   // Publisher-stage-owned.
   ServiceStats stats_;

@@ -72,6 +72,17 @@ class TicketTable {
     return probe_find(ticket, &i) ? vals_[i] : graph::kInvalidEdge;
   }
 
+  // Read-only visit of every live (ticket, edge id) pair, in probe-table
+  // order (callers needing a canonical order sort by ticket). Used by the
+  // checkpoint exporter and the recovery fingerprint (DESIGN.md S14) --
+  // probe layout is an implementation detail and deliberately NOT part of
+  // the serialized state; content equality is the durable contract.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < cap_; ++i)
+      if (keys_[i] != kEmpty && keys_[i] != kTomb) f(keys_[i], vals_[i]);
+  }
+
  private:
   static constexpr std::size_t kMinCap = 64;  // power of two
   static constexpr std::uint64_t kEmpty = ~0ull;

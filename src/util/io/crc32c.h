@@ -1,0 +1,87 @@
+// util/io/crc32c.h -- software CRC32C (Castagnoli, reflected poly
+// 0x82F63B78), the per-record checksum of the durable record log
+// (util/io/record_log.h, DESIGN.md S14). CRC32C rather than CRC32 for the
+// same reason every modern storage format picks it: better error-detection
+// spectrum for the short-burst corruption a torn or bit-flipped journal
+// record actually exhibits, and a hardware-accelerated future (SSE4.2 /
+// ARMv8 CRC instructions compute exactly this polynomial) without a format
+// change.
+//
+// Implementation: slice-by-8 table lookup -- eight 256-entry tables let the
+// hot loop fold 8 input bytes per iteration with no data-dependent chain
+// longer than one XOR tree. Throughput is ~1-2 GB/s on commodity cores,
+// two orders of magnitude above the journal's append bandwidth at the E12
+// saturation rate, so checksumming never shows up in the fsync-policy
+// overhead measurements (bench_e14_recovery).
+//
+// The tables are built once on first use (function-local static, thread
+// safe per the C++11 initialization guarantee) rather than baked in as
+// 8 KiB of source literals.
+//
+// Complexity contract: crc32c() is O(n) in the buffer length with a ~8x
+// unrolled inner step; no allocation after the one-time table build.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace parmatch::util::io {
+
+namespace detail {
+
+struct Crc32cTables {
+  std::array<std::array<std::uint32_t, 256>, 8> t;
+
+  Crc32cTables() {
+    constexpr std::uint32_t kPoly = 0x82F6'3B78u;  // Castagnoli, reflected
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ ((c & 1) ? kPoly : 0);
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i)
+      for (std::size_t s = 1; s < 8; ++s)
+        t[s][i] = (t[s - 1][i] >> 8) ^ t[0][t[s - 1][i] & 0xFF];
+  }
+};
+
+inline const Crc32cTables& crc32c_tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace detail
+
+// CRC32C of `len` bytes at `data`, continuing from `seed` (pass the
+// previous call's return value to checksum a record in pieces; the default
+// seed starts a fresh checksum).
+inline std::uint32_t crc32c(const void* data, std::size_t len,
+                            std::uint32_t seed = 0) {
+  const auto& t = detail::crc32c_tables().t;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  while (len >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);  // little-endian hosts only (asserted below)
+    word ^= crc;
+    crc = t[7][word & 0xFF] ^ t[6][(word >> 8) & 0xFF] ^
+          t[5][(word >> 16) & 0xFF] ^ t[4][(word >> 24) & 0xFF] ^
+          t[3][(word >> 32) & 0xFF] ^ t[2][(word >> 40) & 0xFF] ^
+          t[1][(word >> 48) & 0xFF] ^ t[0][(word >> 56) & 0xFF];
+    p += 8;
+    len -= 8;
+  }
+  while (len--) crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFF];
+  return ~crc;
+}
+
+// The record-log format is defined on little-endian byte order (the only
+// order the repo's recording and CI machines use); a big-endian port would
+// need byte-swapping in the slice-by-8 fold above.
+static_assert(std::endian::native == std::endian::little,
+              "record-log CRC32C fold assumes a little-endian host");
+
+}  // namespace parmatch::util::io

@@ -38,7 +38,9 @@ class LatencyHistogram {
       static_cast<std::size_t>(kMaxExp - kMinExp) * kSubPerOctave + 2;
 
   void record(double us) {
-    ++buckets_[bucket_of(us)];
+    std::size_t b = bucket_of(us);
+    ++buckets_[b];
+    if (b == kBuckets - 1) ++overflow_;
     ++count_;
     sum_ += us;
     if (us < min_) min_ = us;
@@ -46,6 +48,13 @@ class LatencyHistogram {
   }
 
   std::uint64_t count() const { return count_; }
+
+  // Samples clamped into the top (overflow) bucket: their quantile
+  // contribution is reported from the bucket floor (then clamped to max),
+  // so a nonzero overflow count means upper quantiles are CLIPPED, not
+  // merely approximate. Surfaced through ServiceStats and every bench
+  // JsonSink so the clipping is visible instead of silent.
+  std::uint64_t overflow_count() const { return overflow_; }
   double mean() const {
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
   }
@@ -78,6 +87,7 @@ class LatencyHistogram {
   void merge(const LatencyHistogram& o) {
     for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
     count_ += o.count_;
+    overflow_ += o.overflow_;
     sum_ += o.sum_;
     if (o.count_ != 0) {
       if (o.min_ < min_) min_ = o.min_;
@@ -120,6 +130,7 @@ class LatencyHistogram {
 
   std::uint64_t buckets_[kBuckets] = {};
   std::uint64_t count_ = 0;
+  std::uint64_t overflow_ = 0;
   double sum_ = 0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
