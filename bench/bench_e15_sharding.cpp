@@ -1,0 +1,203 @@
+// E15 -- sharded scale-out: shard count x cross-shard traffic fraction
+// (DESIGN.md S15). One table, one row per (cross_frac, shards) point of a
+// mixed churn workload whose edge endpoints are drawn to hit a target
+// cross-shard fraction under the S=4 reference partition:
+//
+//   * throughput (upd/s and us/upd) -- the --compare-scaling CI gate reads
+//     the upd_per_s column (shards=4 row vs shards=1 row of the SAME run;
+//     on this 1-hardware-thread container the protocol's extra rounds are
+//     pure overhead, so the gate is a lenient floor, not a speedup claim),
+//   * measured cross-edge fraction and per-shard mesh traffic (claims,
+//     verdicts, cross messages, ring spills),
+//   * settle/steal/greedy round counts -- the bounded-round story.
+//
+// Self-checks are the exit code, not prose: every row audits
+// check_consistent(), exact mesh conservation (messages sent == received,
+// cross-sent == cross-received, summed over shards), and the level-3
+// determinism contract -- the S=2 and S=4 matchings must be bit-identical
+// to the S=1 matching of the same workload. Any violation fails the bench
+// (nonzero exit), so the bench-smoke CI job is also a correctness gate.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/generators.h"
+#include "gen/workloads.h"
+#include "shard/shard_map.h"
+#include "shard/sharded_matcher.h"
+#include "util/timer.h"
+
+using namespace parmatch;
+using namespace parmatch::bench;
+
+namespace {
+
+constexpr graph::VertexId kN = 16384;
+constexpr std::size_t kM = 3u * kN;
+constexpr std::uint32_t kRefShards = 4;  // partition the fractions target
+
+// Edge endpoints drawn to cross the S=4 reference partition with
+// probability `frac`: same-bucket endpoints otherwise. The buckets come
+// from shard_of itself, so "cross" here is exactly what the S=4 run will
+// see; at S=2 a subset of those pairs still crosses (reported per row as
+// the MEASURED fraction, not the target).
+graph::EdgeBatch fraction_graph(double frac, std::uint64_t seed) {
+  std::vector<std::vector<graph::VertexId>> bucket(kRefShards);
+  for (graph::VertexId v = 0; v < kN; ++v)
+    bucket[shard::shard_of(v, kRefShards)].push_back(v);
+  graph::EdgeBatch b;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < kM; ++i) {
+    std::uint32_t s0 =
+        static_cast<std::uint32_t>(rng.next_below(kRefShards));
+    std::uint32_t s1 = s0;
+    bool cross = rng.next_below(1'000'000) <
+                 static_cast<std::uint64_t>(frac * 1'000'000);
+    if (cross)
+      s1 = (s0 + 1 + static_cast<std::uint32_t>(
+                         rng.next_below(kRefShards - 1))) %
+           kRefShards;
+    graph::VertexId u =
+        bucket[s0][rng.next_below(bucket[s0].size())];
+    graph::VertexId v =
+        bucket[s1][rng.next_below(bucket[s1].size())];
+    if (u == v) v = bucket[s1][(rng.next_below(bucket[s1].size()))];
+    if (u == v) continue;
+    graph::VertexId vs[2] = {u, v};
+    b.add(std::span<const graph::VertexId>(vs, 2));
+  }
+  return b;
+}
+
+struct RunResult {
+  double secs = 0;
+  std::size_t updates = 0;
+  std::size_t matched = 0;
+  double cross_frac = 0;  // measured over final live edges
+  std::uint64_t cross_msgs = 0;
+  std::uint64_t spills = 0;
+  std::uint64_t settle_rounds = 0, steal_rounds = 0, greedy_rounds = 0;
+  std::size_t mem_bytes = 0;
+  std::vector<graph::EdgeId> matching;
+  bool consistent = false, conserved = false;
+};
+
+RunResult run_point(const gen::Workload& w, std::uint32_t shards,
+                    std::uint64_t seed) {
+  shard::Config cfg;
+  cfg.base.seed = seed;
+  cfg.shards = shards;
+  shard::ShardedMatcher sm(cfg);
+
+  std::vector<graph::EdgeId> live(w.master.size(), graph::kInvalidEdge);
+  RunResult r;
+  Timer t;
+  for (const auto& step : w.steps) {
+    if (step.is_insert) {
+      graph::EdgeBatch chunk;
+      for (std::size_t i : step.edges) chunk.add(w.master.edge(i));
+      auto ids = sm.insert_edges(chunk);
+      for (std::size_t j = 0; j < ids.size(); ++j)
+        live[step.edges[j]] = ids[j];
+    } else {
+      std::vector<graph::EdgeId> ids;
+      for (std::size_t i : step.edges) ids.push_back(live[i]);
+      sm.delete_edges(ids);
+    }
+    r.updates += step.edges.size();
+  }
+  r.secs = t.elapsed();
+
+  r.matched = sm.matched_count();
+  r.matching = sm.matching();
+  r.consistent = sm.check_consistent();
+  std::uint64_t sent = 0, recv = 0, cs = 0, cr = 0;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const auto& c = sm.counters(s);
+    sent += c.msgs_sent;
+    recv += c.msgs_recv;
+    cs += c.cross_sent;
+    cr += c.cross_recv;
+  }
+  r.conserved = sent == recv && cs == cr;
+  r.cross_msgs = cs;
+  r.spills = sm.ring_spills();
+  r.settle_rounds = sm.protocol_stats().settle_rounds;
+  r.steal_rounds = sm.protocol_stats().steal_rounds;
+  r.greedy_rounds = sm.protocol_stats().greedy_rounds;
+  r.mem_bytes = sm.memory_bytes();
+
+  std::size_t live_n = 0, live_cross = 0;
+  for (graph::EdgeId e : live)
+    if (e != graph::kInvalidEdge) {
+      ++live_n;
+      if (shard::crosses_shards(sm.pool().vertices(e), shards)) ++live_cross;
+    }
+  r.cross_frac = live_n ? static_cast<double>(live_cross) / live_n : 0;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = bench_init(argc, argv, "e15");
+
+  const double fracs[] = {0.0, 0.5, 1.0};
+  const std::uint32_t shard_counts[] = {1, 2, 4};
+
+  Table table({"cross_frac", "shards", "updates", "wall_ms", "upd_per_s",
+               "us_per_upd", "matched", "live_cross", "cross_msgs",
+               "spills", "settle_rds", "steal_rds", "mem_mb"});
+
+  int failures = 0;
+  for (double frac : fracs) {
+    gen::Workload w =
+        gen::churn(fraction_graph(frac, seed + 17), 256, 0.5, seed + 29);
+    std::vector<graph::EdgeId> reference;
+    for (std::uint32_t shards : shard_counts) {
+      RunResult r = run_point(w, shards, seed);
+      if (!r.consistent) {
+        std::fprintf(stderr,
+                     "FAIL: check_consistent() at frac=%.2f shards=%u\n",
+                     frac, shards);
+        ++failures;
+      }
+      if (!r.conserved) {
+        std::fprintf(stderr,
+                     "FAIL: mesh conservation at frac=%.2f shards=%u\n",
+                     frac, shards);
+        ++failures;
+      }
+      if (shards == shard_counts[0]) {
+        reference = r.matching;
+      } else if (r.matching != reference) {
+        std::fprintf(stderr,
+                     "FAIL: matching at shards=%u diverges from shards=%u "
+                     "(frac=%.2f) -- level-3 determinism broken\n",
+                     shards, shard_counts[0], frac);
+        ++failures;
+      }
+      double upd_per_s = r.secs > 0 ? r.updates / r.secs : 0;
+      table.row({Table::num(frac, 2), Table::num(std::size_t{shards}),
+                 Table::num(r.updates), Table::num(r.secs * 1e3, 2),
+                 Table::num(upd_per_s, 0),
+                 Table::num(r.updates ? r.secs * 1e6 / r.updates : 0, 3),
+                 Table::num(r.matched), Table::num(r.cross_frac, 3),
+                 Table::num(std::size_t{r.cross_msgs}),
+                 Table::num(std::size_t{r.spills}),
+                 Table::num(std::size_t{r.settle_rounds}),
+                 Table::num(std::size_t{r.steal_rounds}),
+                 Table::num(static_cast<double>(r.mem_bytes) / (1u << 20),
+                            2)});
+    }
+  }
+
+  JsonSink::instance().note("self_checks",
+                            failures == 0 ? "pass" : "FAIL");
+  std::printf("\nself_checks=%s (consistency, mesh conservation, "
+              "S-invariant matchings)\n",
+              failures == 0 ? "pass" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}

@@ -112,6 +112,7 @@
 
 #include "dyn/dynamic_matcher.h"
 #include "graph/edge.h"
+#include "shard/shard_map.h"
 #include "serve/admission.h"
 #include "serve/batch_former.h"
 #include "serve/checkpoint.h"
@@ -155,6 +156,11 @@ struct ServiceConfig {
   // default -- policy off -- is the pre-S14 service: no journal I/O, no
   // recovery at construction.
   JournalConfig journal;
+  // Shard count for the sharded-matcher configuration (DESIGN.md S15).
+  // Ignored by BasicMatchService<DynamicMatcher>; consumed by the
+  // MatcherTraits specialization that builds a ShardedMatcher
+  // (shard/sharded_service.h). PARMATCH_SHARDS from the environment.
+  std::uint32_t shards = 1;
 
   static ServiceConfig from_env() {
     ServiceConfig c;
@@ -163,6 +169,7 @@ struct ServiceConfig {
     if (const char* e = std::getenv("PARMATCH_PIPELINE"))
       c.pipeline = !(std::strcmp(e, "0") == 0 || std::strcmp(e, "off") == 0);
     c.journal = JournalConfig::from_env();
+    c.shards = shard::shards_from_env();
     return c;
   }
 };
@@ -205,7 +212,26 @@ struct ServiceStats {
   void clear() { *this = ServiceStats{}; }
 };
 
-class MatchService {
+// How BasicMatchService<M> builds its matcher from the service config.
+// The primary template covers any matcher constructible from dyn::Config;
+// matchers with richer configuration (the sharded one wants the shard
+// count too) specialize it -- see shard/sharded_service.h. make() returns
+// a prvalue, so the service's member initializes by guaranteed copy
+// elision and M never needs to be movable (the sharded matcher holds
+// atomics-bearing rings and is not).
+template <typename M>
+struct MatcherTraits {
+  static M make(const ServiceConfig& cfg) { return M(cfg.matcher); }
+};
+
+// The serving front-end over any matcher M satisfying the DynamicMatcher
+// update/read/durability surface (insert_edges, delete_edges, match_of,
+// matched_count, set_delta_sink, insert_epochs/settle_epochs,
+// export_state/import_state/state_fingerprint). Members are instantiated
+// lazily, so a matcher only needs the operations the caller exercises.
+// `MatchService` below is the plain single-matcher alias.
+template <typename M>
+class BasicMatchService {
   using VertexId = graph::VertexId;
   using EdgeId = graph::EdgeId;
 
@@ -216,9 +242,9 @@ class MatchService {
   // a live ticket -- but callers should simply skip the delete.
   static constexpr std::uint64_t kShedTicket = ~0ull;
 
-  explicit MatchService(const ServiceConfig& cfg)
+  explicit BasicMatchService(const ServiceConfig& cfg)
       : cfg_(capped(cfg)),
-        dm_(cfg_.matcher),
+        dm_(MatcherTraits<M>::make(cfg_)),
         queue_(cfg_.admission, cfg_.queue_capacity, &fi_),
         former_(cfg_.former),
         snap_match_(
@@ -242,10 +268,10 @@ class MatchService {
     }
   }
 
-  ~MatchService() { stop(); }
+  ~BasicMatchService() { stop(); }
 
-  MatchService(const MatchService&) = delete;
-  MatchService& operator=(const MatchService&) = delete;
+  BasicMatchService(const BasicMatchService&) = delete;
+  BasicMatchService& operator=(const BasicMatchService&) = delete;
 
   // ---- lifecycle -------------------------------------------------------
 
@@ -421,7 +447,7 @@ class MatchService {
 
   // The structure underneath. Safe only while the stage threads are idle
   // (after stop() or a drain_until_idle() with producers quiesced).
-  const dyn::DynamicMatcher& matcher() const { return dm_; }
+  const M& matcher() const { return dm_; }
 
   // Live edge id of a ticket, kInvalidEdge if never applied or deleted.
   // Same safety rule as matcher().
@@ -1161,7 +1187,7 @@ class MatchService {
   }
 
   ServiceConfig cfg_;
-  dyn::DynamicMatcher dm_;
+  M dm_;
   FaultInjector fi_;  // declared before queue_ (AdmissionQueue keeps &fi_)
   AdmissionQueue queue_;
   BatchFormer former_;
@@ -1226,5 +1252,9 @@ class MatchService {
   SpscRing<Window*> apply_ring_;
   SpscRing<Window*> publish_ring_;
 };
+
+// The plain single-matcher service -- the name the rest of the codebase
+// (and every pre-S15 test and bench) uses.
+using MatchService = BasicMatchService<dyn::DynamicMatcher>;
 
 }  // namespace parmatch::serve

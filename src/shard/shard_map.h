@@ -1,0 +1,69 @@
+// shard/shard_map.h -- vertex -> shard routing for the sharded matcher
+// (DESIGN.md S15). The vertex space is partitioned by a salted hash, so
+// shard populations stay balanced for any vertex-id distribution (a modulo
+// split would alias generator striding into shard skew). Edge ownership
+// follows the lower-shard-owns rule: the owning shard of an edge is the
+// MINIMUM shard index among its endpoint homes -- a total, symmetric rule
+// both sides of a cross-shard edge can evaluate locally from the endpoint
+// list alone, with no negotiation messages.
+//
+// shard_of is pure in (vertex, shard count): routing never depends on
+// thread count, arrival order, or which shard evaluates it -- the first
+// brick of the level-3 determinism contract (bit-identical final matchings
+// across thread counts AND shard counts).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+
+#include "graph/edge.h"
+#include "util/rng.h"
+
+namespace parmatch::shard {
+
+// Salt for the routing hash: fixed (not config.seed) so the partition is a
+// property of the deployment topology, not of the matcher's RNG stream --
+// re-seeding the matcher must not resharded the graph.
+inline constexpr std::uint64_t kShardSalt = 0x5AAD'0F00'37E1'D00Dull;
+
+inline std::uint32_t shard_of(graph::VertexId v, std::uint32_t shards) {
+  if (shards <= 1) return 0;
+  return static_cast<std::uint32_t>(hash64(kShardSalt, v) % shards);
+}
+
+// Lower-shard-owns: the owner runs claim/arbitration bookkeeping for the
+// edge and ships (vertex, match) verdicts to the peer endpoint homes.
+inline std::uint32_t owner_of(std::span<const graph::VertexId> vs,
+                              std::uint32_t shards) {
+  std::uint32_t o = shard_of(vs[0], shards);
+  for (std::size_t i = 1; i < vs.size(); ++i) {
+    std::uint32_t s = shard_of(vs[i], shards);
+    if (s < o) o = s;
+  }
+  return o;
+}
+
+// True when the edge spans more than one shard (at least one endpoint home
+// differs from another) -- the protocol's "foreign verdict" case.
+inline bool crosses_shards(std::span<const graph::VertexId> vs,
+                           std::uint32_t shards) {
+  std::uint32_t s0 = shard_of(vs[0], shards);
+  for (std::size_t i = 1; i < vs.size(); ++i)
+    if (shard_of(vs[i], shards) != s0) return true;
+  return false;
+}
+
+// PARMATCH_SHARDS=N (default 1). Clamped to [1, 64]: the mesh is S^2
+// rings, and past a few dozen shards the protocol's round barriers
+// dominate on any realistic core count.
+inline std::uint32_t shards_from_env() {
+  const char* e = std::getenv("PARMATCH_SHARDS");
+  if (e == nullptr) return 1;
+  long v = std::strtol(e, nullptr, 10);
+  if (v < 1) return 1;
+  if (v > 64) return 64;
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace parmatch::shard

@@ -1,0 +1,151 @@
+// shard/shard_rings.h -- the shard-to-shard message fabric (DESIGN.md
+// S15). Every ordered shard pair (src, dst) gets its own bounded SPSC ring
+// (serve/update_queue.h's cache-friendly SpscRing, the same machinery the
+// drain pipeline hands windows over), plus an unbounded spill vector for
+// the rare burst that outruns the ring -- correctness never depends on a
+// capacity guess, only the steady-state allocation-free path does.
+//
+// Discipline: the protocol runs in barrier-separated phases (a
+// parallel_for over shards per phase). Within one phase, shard s only
+// PUSHES into rings whose src is s, and only DRAINS rings whose dst is s
+// and which were filled in an earlier phase -- so every ring has exactly
+// one producer and one consumer per phase, and the fork/join barrier
+// between phases publishes the messages (the ring's release/acquire pair
+// covers the in-phase handoff too, should a drain ever overlap a fill).
+//
+// Determinism: a drain visits sources in ascending shard order and
+// preserves per-source FIFO (ring first, then the spill, which is only
+// fed after the ring filled), so the merged message order is a pure
+// function of what each source pushed -- never of scheduling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/edge.h"
+#include "serve/update_queue.h"
+
+namespace parmatch::shard {
+
+// One protocol message. `kind` selects the payload meaning; one POD type
+// for every lane keeps the mesh at S^2 rings instead of S^2 per type.
+enum class MsgKind : std::uint8_t {
+  kGrowth,    // edge's owner: matched-neighborhood grew by `aux` inserts
+  kClaim,     // endpoint home: edge `e` (priority `pri`) claims this round
+  kGrant,     // edge owner: one endpoint granted; aux = its live degree
+  kMatch,     // endpoint home: verdict -- e is matched, take its endpoints
+  kUnmatch,   // endpoint home: verdict -- e unmatched, free its endpoints
+  kDisplace,  // edge owner: a steal displaced e somewhere; unmatch it
+};
+
+struct ShardMsg {
+  graph::EdgeId e = graph::kInvalidEdge;
+  std::uint64_t pri = 0;   // claim priority (kClaim) -- carried so the
+                           // arbitrating home never reads a foreign pri_
+  std::uint64_t aux = 0;   // kGrowth: insert count; kGrant: live_deg
+  MsgKind kind = MsgKind::kGrowth;
+};
+
+// Bounded ring + overflow spill, single producer / single consumer per
+// phase. FIFO across the boundary: once a push spills, later pushes spill
+// too until the next drain, so message order is preserved exactly.
+//
+// Drains are KIND-FILTERED: a phase that drains one kind and sends the
+// next (verdict drains grants and emits match verdicts) may race its own
+// sends against a peer shard's drain of the SAME phase -- the peer must
+// not eat a message addressed to the phase after it. A non-matching
+// message is retained in the lane (order preserved) and surfaces at the
+// next drain; by the phase sequencing of the protocol that next drain is
+// exactly the one that wants it. Handlers are commutative within a kind
+// (min-arbitration, counting, guarded idempotent writes), so WHETHER a
+// message was retained or consumed in place -- which can depend on
+// scheduling -- never changes the resulting state.
+class MsgLane {
+ public:
+  explicit MsgLane(std::size_t capacity) : ring_(capacity) {}
+
+  void push(const ShardMsg& m) {
+    if (spill_.empty() && ring_.try_push(m)) return;
+    spill_.push_back(m);
+    ++spilled_;
+  }
+
+  // The handler may push into the lane being drained (an owner that is
+  // also an endpoint home sends itself next-phase verdicts through its
+  // self-lane): ring self-pushes are consumed by the pop loop below and
+  // retained; spill self-pushes append past the walk index and are
+  // likewise retained. Hence the index walk and per-element copy -- a
+  // range-for would dangle when a push reallocates the spill.
+  template <typename F>
+  void drain(MsgKind want, F&& f) {
+    keep_.clear();
+    ShardMsg m;
+    while (ring_.try_pop(m)) {
+      if (m.kind == want)
+        f(m);
+      else
+        keep_.push_back(m);
+    }
+    for (std::size_t i = 0; i < spill_.size(); ++i) {
+      ShardMsg s = spill_[i];
+      if (s.kind == want)
+        f(s);
+      else
+        keep_.push_back(s);
+    }
+    spill_.swap(keep_);
+  }
+
+  // Overflow pushes only -- retention is not a spill.
+  std::uint64_t spilled() const { return spilled_; }
+
+ private:
+  serve::SpscRing<ShardMsg> ring_;
+  std::vector<ShardMsg> spill_;
+  std::vector<ShardMsg> keep_;
+  std::uint64_t spilled_ = 0;
+};
+
+// The full S x S mesh. lane(src, dst) is the only object shard `src`
+// writes and shard `dst` reads; drains walk src = 0..S-1 (determinism
+// contract above). Self-lanes (src == dst) exist and are used -- a shard
+// sends itself the same messages it would send a peer, so the S=1
+// configuration runs the identical protocol (the differential harness's
+// reference arm) instead of a special case.
+class ShardMesh {
+ public:
+  ShardMesh(std::uint32_t shards, std::size_t capacity) : shards_(shards) {
+    lanes_.reserve(static_cast<std::size_t>(shards) * shards);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(shards) * shards;
+         ++i)
+      lanes_.push_back(std::make_unique<MsgLane>(capacity));
+  }
+
+  MsgLane& lane(std::uint32_t src, std::uint32_t dst) {
+    return *lanes_[static_cast<std::size_t>(src) * shards_ + dst];
+  }
+
+  // Drain every `want`-kind message addressed to dst, sources in
+  // ascending order; other kinds stay queued for their own phase.
+  template <typename F>
+  void drain_into(std::uint32_t dst, MsgKind want, F&& f) {
+    for (std::uint32_t src = 0; src < shards_; ++src)
+      lane(src, dst).drain(want, f);
+  }
+
+  std::uint32_t shards() const { return shards_; }
+
+  std::uint64_t total_spilled() const {
+    std::uint64_t n = 0;
+    for (const auto& l : lanes_) n += l->spilled();
+    return n;
+  }
+
+ private:
+  std::uint32_t shards_;
+  std::vector<std::unique_ptr<MsgLane>> lanes_;
+};
+
+}  // namespace parmatch::shard

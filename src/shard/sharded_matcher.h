@@ -1,0 +1,915 @@
+// shard/sharded_matcher.h -- the sharded multi-matcher scale-out layer
+// (DESIGN.md S15, ROADMAP "millions of users" configuration).
+//
+// The vertex space is partitioned across S shards by a salted hash
+// (shard/shard_map.h); every vertex's match cell, live degree, and
+// incidence list are owned by its home shard -- written by that shard
+// only, for the whole life of the structure. Edges are owned by the
+// LOWEST shard among their endpoint homes (lower-shard-owns): the owner
+// runs claim bookkeeping, grant counting, and the match/unmatch decision
+// for the edge, and ships (vertex, match) verdicts to the peer endpoint
+// homes over the shard-to-shard message mesh (shard/shard_rings.h).
+//
+// A batch applies as a fixed sequence of barrier-separated phases, each a
+// parallel_for over shards. Conflict resolution -- steal, greedy claim,
+// and settle -- runs as iterated CROSS-SHARD ROUNDS of four phases:
+//
+//   claim:   the claimant (edge owner for steal/greedy; the pending
+//            vertex's home for settle) picks a candidate edge and sends a
+//            claim to every endpoint home.
+//   grant:   each home arbitrates its own vertices -- the (priority, id)-
+//            minimum claimant wins the vertex -- and sends a grant (with
+//            the vertex's live degree) back to the edge's owner.
+//   verdict: an owner whose edge collected a grant for every endpoint
+//            occurrence declares it MATCHED (bloat threshold from the
+//            granted degrees; settle matches redraw their sample keyed
+//            (edge, settle epoch)) and ships match verdicts to the homes.
+//   apply:   homes write their own match cells; a steal that displaced an
+//            existing match routes a displace notice to the victim's
+//            owner, whose unmatch verdict frees the remaining endpoints
+//            into the pending-settle set (two extra sub-phases).
+//
+// Rounds iterate until no shard produced a claim -- the "no pending
+// foreign verdicts" fixed point. The round count is bounded: in every
+// round the globally (priority, id)-minimum claimed edge beats every
+// competitor at each of its endpoints and every match it must displace,
+// so it is granted everywhere and commits -- at least one claimant
+// resolves per round, hence at most (#claimants) rounds per group
+// (DESIGN.md S15 gives the full argument, including why a beaten stealer
+// is permanently resolved).
+//
+// Determinism level 3 (thread counts AND shard counts): every input to
+// every decision is keyed by data, never by schedule or by topology --
+//   * edge priorities:  insert_pri(global insert epoch, batch slot)
+//   * settle draws:     settle_draw(vertex, global settle epoch)
+//   * settle resamples: settle_pri(edge, global settle epoch)
+//   * arbitration:      (priority, id) minimum -- order-free
+//   * message order:    per-source FIFO, drains merge sources in
+//                       ascending shard order; scratch emission loops
+//                       sort their touched lists
+// The RNG streams are the stateless keyed hashes of DESIGN.md S2: every
+// shard holds its own stream handle, but a draw depends only on (master
+// seed, key, epoch), so S cannot perturb it. Changing S changes WHERE
+// each per-vertex/per-edge step executes, never WHAT it computes -- the
+// trajectory, epoch counters, and final matching are bit-identical across
+// S for a fixed batch partition (tests/test_shard.cpp drives the
+// differential harness; S=1 runs the identical protocol through its
+// self-lanes, so it is the reference arm, not a special case).
+//
+// Surface: drop-in for dyn::DynamicMatcher where the serving layer is
+// concerned -- insert_edges / delete_edges / match_of / matching /
+// matched_count / set_delta_sink / export_state / import_state /
+// state_fingerprint / insert_epochs / settle_epochs -- so
+// BasicMatchService<ShardedMatcher> composes with the former/matcher/
+// publisher pipeline, admission, journal, and checkpoint recovery
+// unchanged (serve/service.h).
+//
+// Complexity contract: a batch of k updates costs O(k) routing, O(k)
+// expected conflict-resolution work under the paper's oblivious-adversary
+// model (each shard runs the constant-work-per-update machinery over its
+// own partition), plus O(rounds * S) phase-barrier overhead. Messages are
+// O(1) words each; the mesh's steady-state path allocates nothing.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "dyn/dynamic_matcher.h"
+#include "graph/edge.h"
+#include "graph/edge_batch.h"
+#include "graph/edge_pool.h"
+#include "matching/parallel_greedy.h"
+#include "parallel/parallel_for.h"
+#include "parallel/rng_stream.h"
+#include "shard/shard_map.h"
+#include "shard/shard_rings.h"
+#include "util/rng.h"
+
+namespace parmatch::shard {
+
+struct Config {
+  dyn::Config base;          // seed, max_rank, levels -- the per-shard knobs
+  std::uint32_t shards = 1;  // S; PARMATCH_SHARDS from the environment
+  std::size_t ring_capacity = 1024;  // per-lane mesh ring depth
+
+  static Config from_env() {
+    Config c;
+    c.shards = shards_from_env();
+    return c;
+  }
+};
+
+// Per-shard protocol counters (single-writer: shard s writes slot s during
+// phases; read them only between batches). The bench's conservation gate
+// checks sent == received, per class, after every drain.
+struct ShardCounters {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_recv = 0;
+  std::uint64_t cross_sent = 0;      // src != dst
+  std::uint64_t cross_recv = 0;
+  std::uint64_t claims_sent = 0;
+  std::uint64_t verdicts_sent = 0;   // kMatch + kUnmatch out of this owner
+  std::uint64_t verdicts_applied = 0;  // kMatch + kUnmatch drained here
+};
+
+// Aggregated protocol statistics (idle-time reads).
+struct ShardStats {
+  std::uint64_t insert_batches = 0;
+  std::uint64_t delete_batches = 0;
+  std::uint64_t steal_rounds = 0;
+  std::uint64_t greedy_rounds = 0;
+  std::uint64_t settle_rounds = 0;
+};
+
+class ShardedMatcher {
+  using VertexId = graph::VertexId;
+  using EdgeId = graph::EdgeId;
+  static constexpr EdgeId kInvalid = graph::kInvalidEdge;
+
+ public:
+  explicit ShardedMatcher(const Config& cfg)
+      : cfg_(cfg),
+        shards_(cfg.shards < 1 ? 1 : cfg.shards),
+        pool_(cfg.base.max_rank),
+        mesh_(shards_, cfg.ring_capacity),
+        insert_pri_(hash64(cfg.base.seed ^ 0xA02B'DBF7'BB3C'0A7ull, 1)),
+        settle_draw_(hash64(cfg.base.seed ^ 0xA02B'DBF7'BB3C'0A7ull, 2)),
+        settle_pri_(hash64(cfg.base.seed ^ 0xA02B'DBF7'BB3C'0A7ull, 3)),
+        per_(shards_) {}
+
+  const Config& config() const { return cfg_; }
+  std::uint32_t shards() const { return shards_; }
+  const graph::EdgePool& pool() const { return pool_; }
+
+  // ---- update surface (mirrors dyn::DynamicMatcher) --------------------
+
+  // The batch's delta sink: every vertex whose match changed is appended,
+  // in deterministic (phase, shard, drain) order. Same contract as the
+  // plain matcher's sink -- the service snapshots exactly these.
+  void set_delta_sink(std::vector<VertexId>* sink) { delta_sink_ = sink; }
+
+  std::span<const EdgeId> insert_edges(const graph::EdgeBatch& batch) {
+    ids_.clear();
+    if (batch.size() == 0) return {ids_.data(), std::size_t{0}};
+    std::uint64_t epoch = ++insert_epoch_;
+    pool_.add_edges(batch, ids_);
+    ensure_bounds();
+    for (std::size_t i = 0; i < ids_.size(); ++i) {
+      EdgeId e = ids_[i];
+      pri_[e] = insert_pri_.word(epoch, i);
+      ehot_[e] = EdgeHot{};
+    }
+
+    // Route: per-home incidence appends in batch order, per-owner
+    // inserted-edge lists (claim candidates for steal and greedy).
+    for (auto& in : append_inbox_) in.clear();
+    for (auto& own : inserted_owned_) own.clear();
+    for (std::size_t i = 0; i < ids_.size(); ++i) {
+      EdgeId e = ids_[i];
+      auto vs = pool_.vertices(e);
+      for (VertexId v : vs)
+        append_inbox_[shard_of(v, shards_)].push_back({v, e});
+      inserted_owned_[owner_of(vs, shards_)].push_back(e);
+    }
+
+    // Phase I1: homes apply their appends; inserts landing next to a
+    // matched vertex bump the match's growth at its OWNER via the mesh.
+    for_shards([&](std::uint32_t s) {
+      for (const auto& [v, e] : append_inbox_[s]) {
+        adj_[v].push_back(e);
+        ++vh_[v].deg;
+        if (!cfg_.base.light_only) {
+          EdgeId m = vh_[v].match;
+          if (m != kInvalid)
+            send(s, owner_shard(m), {m, 0, 1, MsgKind::kGrowth});
+        }
+      }
+    });
+
+    // Phase I2+I3: owners fold the growth bumps, detect threshold
+    // crossings (exactly once per crossing: the sum is order-free and the
+    // before/after straddle check fires at the crossing message), unmatch
+    // the bloated edges, and ship unmatch verdicts; homes free the
+    // endpoints into the pending-settle set.
+    if (!cfg_.base.light_only) {
+      for_shards([&](std::uint32_t s) {
+        drain(s, MsgKind::kGrowth, [&](const ShardMsg& m) {
+          EdgeHot& h = ehot_[m.e];
+          std::uint64_t before = h.growth;
+          h.growth += static_cast<std::uint32_t>(m.aux);
+          if (before <= h.threshold && before + m.aux > h.threshold &&
+              h.matched) {
+            h.matched = false;
+            --per_[s].matched_owned;
+            send_verdict(s, m.e, MsgKind::kUnmatch);
+          }
+        });
+      });
+      unmatch_apply_phase();
+    }
+
+    run_steal_rounds();
+    run_greedy_rounds();
+    run_settle_rounds();
+    flush_deltas();
+    ++stats_.insert_batches;
+    return {ids_.data(), ids_.size()};
+  }
+
+  void delete_edges(std::span<const EdgeId> ids) {
+    del_.clear();
+    for (EdgeId e : ids)
+      if (e != kInvalid && pool_.live(e)) del_.push_back(e);
+    std::sort(del_.begin(), del_.end());
+    del_.erase(std::unique(del_.begin(), del_.end()), del_.end());
+    if (del_.empty()) return;
+
+    for (auto& in : append_inbox_) in.clear();
+    for (auto& own : inserted_owned_) own.clear();  // reused: owner lists
+    for (EdgeId e : del_) {
+      auto vs = pool_.vertices(e);
+      for (VertexId v : vs)
+        append_inbox_[shard_of(v, shards_)].push_back({v, e});
+      inserted_owned_[owner_of(vs, shards_)].push_back(e);
+    }
+
+    // Phase D1: homes drop incidence counts and free endpoints whose
+    // match dies (every endpoint home hears about the delete directly, so
+    // no unmatch verdicts are needed); owners clear the edge-level state.
+    for_shards([&](std::uint32_t s) {
+      for (const auto& [v, e] : append_inbox_[s]) {
+        --vh_[v].deg;
+        if (vh_[v].match == e) {
+          vh_[v].match = kInvalid;
+          deltas_[s].push_back(v);
+          pending_[s].push_back(v);
+        }
+      }
+      for (EdgeId e : inserted_owned_[s]) {
+        if (ehot_[e].matched) {
+          ehot_[e].matched = false;
+          --per_[s].matched_owned;
+        }
+      }
+    });
+
+    pool_.remove_edges(std::span<const EdgeId>(del_));
+    run_settle_rounds();
+    flush_deltas();
+    ++stats_.delete_batches;
+  }
+
+  // ---- read surface ----------------------------------------------------
+
+  EdgeId match_of(VertexId v) const {
+    return v < vh_.size() ? vh_[v].match : kInvalid;
+  }
+
+  bool is_matched(EdgeId e) const {
+    return pool_.live(e) && ehot_[e].matched;
+  }
+
+  std::size_t matched_count() const {
+    std::size_t n = 0;
+    for (const PerShard& p : per_) n += p.matched_owned;
+    return n;
+  }
+
+  // Canonical (ascending edge id) matched list -- shard-count-invariant
+  // by construction, which is what the differential harness compares.
+  std::vector<EdgeId> matching() const {
+    std::vector<EdgeId> out;
+    out.reserve(matched_count());
+    for (std::size_t id = 0; id < pool_.id_bound(); ++id) {
+      EdgeId e = static_cast<EdgeId>(id);
+      if (pool_.live(e) && ehot_[e].matched) out.push_back(e);
+    }
+    return out;
+  }
+
+  std::uint64_t insert_epochs() const { return insert_epoch_; }
+  std::uint64_t settle_epochs() const { return settle_epoch_; }
+
+  const ShardStats& protocol_stats() const { return stats_; }
+  const ShardCounters& counters(std::uint32_t s) const {
+    return per_[s].counters;
+  }
+  std::size_t matched_owned(std::uint32_t s) const {
+    return per_[s].matched_owned;
+  }
+  std::uint64_t ring_spills() const { return mesh_.total_spilled(); }
+
+  std::size_t memory_bytes() const {
+    std::size_t b = pool_.memory_bytes();
+    b += pri_.capacity() * sizeof(std::uint64_t);
+    b += ehot_.capacity() * sizeof(EdgeHot);
+    b += vh_.capacity() * sizeof(VertexHot);
+    for (const auto& a : adj_) b += a.capacity() * sizeof(EdgeId);
+    b += adj_.capacity() * sizeof(std::vector<EdgeId>);
+    return b;
+  }
+
+  // Full consistency audit (test/bench gate, O(live graph)): every
+  // matched edge's endpoints all point back at it, every taken vertex's
+  // edge is live and matched, per-owner matched counts add up, and the
+  // matching is maximal (no live edge with every endpoint free).
+  bool check_consistent() const {
+    std::size_t matched_edges = 0;
+    for (std::size_t id = 0; id < pool_.id_bound(); ++id) {
+      EdgeId e = static_cast<EdgeId>(id);
+      if (!pool_.live(e)) continue;
+      bool all_free = true;
+      for (VertexId v : pool_.vertices(e)) {
+        if (vh_[v].match != kInvalid) all_free = false;
+        if (ehot_[e].matched && vh_[v].match != e) return false;
+      }
+      if (ehot_[e].matched) ++matched_edges;
+      if (!ehot_[e].matched && all_free) return false;  // not maximal
+    }
+    if (matched_edges != matched_count()) return false;
+    for (std::size_t v = 0; v < vh_.size(); ++v) {
+      EdgeId m = vh_[v].match;
+      if (m == kInvalid) continue;
+      if (!pool_.live(m) || !ehot_[m].matched) return false;
+    }
+    return true;
+  }
+
+  // ---- durability surface (serve/checkpoint.h contract) ----------------
+
+  void export_state(std::vector<std::uint64_t>& out) const {
+    out.push_back(kStateMagic);
+    out.push_back(kStateVersion);
+    out.push_back(shards_);
+    out.push_back(cfg_.base.seed);
+    out.push_back(cfg_.base.max_rank);
+    out.push_back(cfg_.base.level_gap);
+    out.push_back(cfg_.base.heavy_factor);
+    out.push_back(cfg_.base.light_only ? 1 : 0);
+    out.push_back(insert_epoch_);
+    out.push_back(settle_epoch_);
+    pool_.export_state(out);
+    std::size_t ib = pool_.id_bound();
+    out.push_back(pool_.live_count());
+    for (std::size_t id = 0; id < ib; ++id)
+      if (pool_.live(static_cast<EdgeId>(id))) out.push_back(pri_[id]);
+    out.push_back(matched_count());
+    for (std::size_t id = 0; id < ib; ++id) {
+      EdgeId e = static_cast<EdgeId>(id);
+      if (!pool_.live(e) || !ehot_[e].matched) continue;
+      out.push_back(e);
+      out.push_back(ehot_[e].threshold);
+      out.push_back(ehot_[e].growth);
+    }
+    std::size_t vb = vh_.size();
+    out.push_back(vb);
+    for (std::size_t v = 0; v < vb; ++v) {
+      std::size_t cnt_pos = out.size();
+      out.push_back(0);
+      std::uint64_t cnt = 0;
+      for (EdgeId e : adj_[v]) {
+        if (!pool_.live(e)) continue;  // lazy tombstones are not state
+        out.push_back(e);
+        ++cnt;
+      }
+      out[cnt_pos] = cnt;
+    }
+  }
+
+  // Restore into a FRESHLY constructed matcher with the same Config
+  // (shard count included: resharding a checkpoint would silently move
+  // every ownership boundary). False on malformed or mismatched streams.
+  bool import_state(std::span<const std::uint64_t> in) {
+    assert(pool_.live_count() == 0 && insert_epoch_ == 0 &&
+           "import into a used matcher");
+    std::size_t p = 0;
+    auto need = [&](std::uint64_t n) { return in.size() - p >= n; };
+    if (!need(10)) return false;
+    if (in[p++] != kStateMagic || in[p++] != kStateVersion) return false;
+    if (in[p++] != shards_ || in[p++] != cfg_.base.seed ||
+        in[p++] != cfg_.base.max_rank || in[p++] != cfg_.base.level_gap ||
+        in[p++] != cfg_.base.heavy_factor ||
+        in[p++] != static_cast<std::uint64_t>(cfg_.base.light_only ? 1 : 0))
+      return false;
+    insert_epoch_ = in[p++];
+    settle_epoch_ = in[p++];
+    std::size_t consumed = 0;
+    if (!pool_.import_state(in.subspan(p), &consumed)) return false;
+    p += consumed;
+    ensure_bounds();
+    std::size_t ib = pool_.id_bound();
+    if (!need(1)) return false;
+    std::uint64_t nlive = in[p++];
+    if (nlive != pool_.live_count() || !need(nlive)) return false;
+    for (std::size_t id = 0; id < ib; ++id)
+      if (pool_.live(static_cast<EdgeId>(id))) pri_[id] = in[p++];
+    if (!need(1)) return false;
+    std::uint64_t nm = in[p++];
+    if (nm > nlive || !need(3 * nm)) return false;
+    for (std::uint64_t i = 0; i < nm; ++i) {
+      EdgeId e = static_cast<EdgeId>(in[p++]);
+      if (!pool_.live(e)) return false;
+      auto vs = pool_.vertices(e);
+      for (VertexId v : vs)
+        if (vh_[v].match != kInvalid) return false;
+      ehot_[e].matched = true;
+      ehot_[e].threshold = in[p++];
+      ehot_[e].growth = static_cast<std::uint32_t>(in[p++]);
+      for (VertexId v : vs) vh_[v].match = e;
+      ++per_[owner_of(vs, shards_)].matched_owned;
+    }
+    if (!need(1)) return false;
+    std::uint64_t vb = in[p++];
+    if (vb != vh_.size()) return false;
+    for (std::uint64_t v = 0; v < vb; ++v) {
+      if (!need(1)) return false;
+      std::uint64_t cnt = in[p++];
+      if (!need(cnt)) return false;
+      auto& a = adj_[static_cast<std::size_t>(v)];
+      a.clear();
+      a.reserve(cnt);
+      for (std::uint64_t j = 0; j < cnt; ++j) {
+        EdgeId e = static_cast<EdgeId>(in[p++]);
+        if (!pool_.live(e)) return false;
+        a.push_back(e);
+      }
+      vh_[static_cast<std::size_t>(v)].deg =
+          static_cast<std::uint32_t>(cnt);
+    }
+    return p == in.size();
+  }
+
+  // Order-sensitive fold of exactly the exported logical state -- the
+  // recovery bit-identity check's digest (same fold as the plain matcher).
+  std::uint64_t state_fingerprint() const {
+    std::vector<std::uint64_t> words;
+    export_state(words);
+    std::uint64_t h = 0x5EED'F00D'CAFE'D00Dull;
+    for (std::uint64_t w : words) h = hash64(h, w);
+    return h;
+  }
+
+ private:
+  static constexpr std::uint64_t kStateMagic = 0x5348'4152'444D'4154ull;
+  static constexpr std::uint64_t kStateVersion = 1;
+
+  struct EdgeHot {
+    std::uint64_t threshold = 0;
+    std::uint32_t growth = 0;
+    bool matched = false;
+  };
+  struct VertexHot {
+    EdgeId match = kInvalid;
+    std::uint32_t deg = 0;
+  };
+  // Shard-local mutable state, one slot per shard; every field is written
+  // only by its own shard inside phases (single-writer discipline).
+  struct PerShard {
+    ShardCounters counters;
+    std::size_t matched_owned = 0;
+    std::uint64_t claims_this_round = 0;
+  };
+
+  void ensure_bounds() {
+    std::size_t ib = pool_.id_bound();
+    if (pri_.size() < ib) {
+      pri_.resize(ib, 0);
+      ehot_.resize(ib);
+      grant_cnt_.resize(ib, 0);
+      grant_deg_.resize(ib, 0);
+    }
+    std::size_t vb = pool_.vertex_bound();
+    if (vh_.size() < vb) {
+      vh_.resize(vb);
+      adj_.resize(vb);
+      claim_id_.resize(vb, kInvalid);
+      claim_pri_.resize(vb, 0);
+    }
+    if (append_inbox_.empty()) {
+      append_inbox_.resize(shards_);
+      inserted_owned_.resize(shards_);
+      pending_.resize(shards_);
+      pending_next_.resize(shards_);
+      deltas_.resize(shards_);
+      vtouched_.resize(shards_);
+      etouched_.resize(shards_);
+      cand_.resize(shards_);
+    }
+  }
+
+  // One iteration = one shard: every phase is a parallel_for over shards
+  // with grain 1, and the fork/join barrier between phases is the
+  // protocol's round barrier. Shard bodies are sequential and
+  // deterministic; cross-shard data moves only through the mesh.
+  template <typename F>
+  void for_shards(F&& f) {
+    parallel::parallel_for(
+        0, shards_,
+        [&](std::size_t s) { f(static_cast<std::uint32_t>(s)); },
+        /*grain=*/1);
+  }
+
+  std::uint32_t owner_shard(EdgeId e) const {
+    return owner_of(pool_.vertices(e), shards_);
+  }
+
+  void send(std::uint32_t src, std::uint32_t dst, const ShardMsg& m) {
+    mesh_.lane(src, dst).push(m);
+    ShardCounters& c = per_[src].counters;
+    ++c.msgs_sent;
+    if (src != dst) ++c.cross_sent;
+    if (m.kind == MsgKind::kClaim) ++c.claims_sent;
+    if (m.kind == MsgKind::kMatch || m.kind == MsgKind::kUnmatch)
+      ++c.verdicts_sent;
+  }
+
+  // Kind-filtered drain (see shard_rings.h): consumes exactly the phase's
+  // own message kind; anything a peer sent ahead for a later phase stays
+  // queued. Receive counters tick on consumption, so sent == received
+  // holds per kind once the batch's phases have all run.
+  template <typename F>
+  void drain(std::uint32_t dst, MsgKind want, F&& f) {
+    ShardCounters& c = per_[dst].counters;
+    for (std::uint32_t src = 0; src < shards_; ++src) {
+      mesh_.lane(src, dst).drain(want, [&](const ShardMsg& m) {
+        ++c.msgs_recv;
+        if (src != dst) ++c.cross_recv;
+        if (m.kind == MsgKind::kMatch || m.kind == MsgKind::kUnmatch)
+          ++c.verdicts_applied;
+        f(m);
+      });
+    }
+  }
+
+  // One verdict per DISTINCT endpoint home (the home applies it to every
+  // endpoint occurrence it owns).
+  void send_verdict(std::uint32_t src, EdgeId e, MsgKind kind) {
+    auto vs = pool_.vertices(e);
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      std::uint32_t h = shard_of(vs[i], shards_);
+      bool dup = false;
+      for (std::size_t j = 0; j < i; ++j)
+        if (shard_of(vs[j], shards_) == h) { dup = true; break; }
+      if (!dup) send(src, h, {e, 0, 0, kind});
+    }
+  }
+
+  void send_claim(std::uint32_t src, EdgeId e) {
+    auto vs = pool_.vertices(e);
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      std::uint32_t h = shard_of(vs[i], shards_);
+      bool dup = false;
+      for (std::size_t j = 0; j < i; ++j)
+        if (shard_of(vs[j], shards_) == h) { dup = true; break; }
+      if (!dup) send(src, h, {e, pri_[e], 0, MsgKind::kClaim});
+    }
+  }
+
+  std::uint64_t total_claims() const {
+    std::uint64_t n = 0;
+    for (const PerShard& p : per_) n += p.claims_this_round;
+    return n;
+  }
+
+  // Level quantization of the settle-time neighborhood (same saturation
+  // rules as the plain matcher's commit_arrays).
+  void set_threshold(EdgeId e, std::uint64_t nbhd) {
+    EdgeHot& h = ehot_[e];
+    constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+    if (cfg_.base.light_only) {
+      h.threshold = kMax;
+      h.growth = 0;
+      return;
+    }
+    std::uint64_t gap = cfg_.base.level_gap < 2 ? 2 : cfg_.base.level_gap;
+    std::uint64_t cap = gap;
+    bool saturated = false;
+    while (cap < nbhd) {
+      if (cap > kMax / gap) {
+        saturated = true;
+        break;
+      }
+      cap *= gap;
+    }
+    std::uint64_t hf = cfg_.base.heavy_factor;
+    h.threshold = (saturated || (hf != 0 && cap > kMax / hf)) ? kMax
+                                                              : hf * cap;
+    h.growth = 0;
+  }
+
+  // ---- the four round phases ------------------------------------------
+
+  // Homes arbitrate the drained claims per vertex ((priority, id) min,
+  // order-free) and grant to the winner's owner. `steal` allows a claim
+  // to beat an existing match; settle/greedy grants require a free
+  // vertex. One grant per endpoint OCCURRENCE, so a duplicate-vertex edge
+  // still collects rank(e) grants.
+  void grant_phase(bool steal) {
+    for_shards([&](std::uint32_t s) {
+      auto& touched = vtouched_[s];
+      touched.clear();
+      drain(s, MsgKind::kClaim, [&](const ShardMsg& m) {
+        for (VertexId u : pool_.vertices(m.e)) {
+          if (shard_of(u, shards_) != s) continue;
+          if (claim_id_[u] == kInvalid) {
+            touched.push_back(u);
+            claim_id_[u] = m.e;
+            claim_pri_[u] = m.pri;
+          } else if (matching::detail::beats(m.pri, m.e, claim_pri_[u],
+                                             claim_id_[u])) {
+            claim_id_[u] = m.e;
+            claim_pri_[u] = m.pri;
+          }
+        }
+      });
+      std::sort(touched.begin(), touched.end());
+      touched.erase(std::unique(touched.begin(), touched.end()),
+                    touched.end());
+      for (VertexId u : touched) {
+        EdgeId w = claim_id_[u];
+        EdgeId m = vh_[u].match;
+        bool ok =
+            m == kInvalid ||
+            (steal && matching::detail::beats(claim_pri_[u], w, pri_[m], m));
+        if (ok) {
+          std::uint32_t dst = owner_shard(w);
+          for (VertexId x : pool_.vertices(w))
+            if (x == u) {
+                  send(s, dst, {w, 0, vh_[u].deg, MsgKind::kGrant});
+            }
+        }
+        claim_id_[u] = kInvalid;
+      }
+    });
+  }
+
+  // Owners count grants; a fully granted edge matches. settle_epoch != 0
+  // marks a settle round: the committed match redraws its sample keyed
+  // (edge, epoch), exactly like the plain matcher's settle finalize.
+  void verdict_phase(std::uint64_t settle_epoch) {
+    for_shards([&](std::uint32_t s) {
+      auto& et = etouched_[s];
+      et.clear();
+      drain(s, MsgKind::kGrant, [&](const ShardMsg& m) {
+        if (grant_cnt_[m.e] == 0) et.push_back(m.e);
+        ++grant_cnt_[m.e];
+        grant_deg_[m.e] += m.aux;
+      });
+      std::sort(et.begin(), et.end());
+      for (EdgeId e : et) {
+        if (grant_cnt_[e] == pool_.rank(e) && !ehot_[e].matched) {
+          ehot_[e].matched = true;
+          ++per_[s].matched_owned;
+          set_threshold(e, grant_deg_[e]);
+          if (settle_epoch != 0 && !cfg_.base.light_only)
+            pri_[e] = settle_pri_.word(e, settle_epoch);
+          send_verdict(s, e, MsgKind::kMatch);
+        }
+        grant_cnt_[e] = 0;
+        grant_deg_[e] = 0;
+      }
+    });
+  }
+
+  // Homes take the match verdicts. A displaced match (steal rounds only)
+  // is routed to its owner, which unmatches it everywhere next sub-phase.
+  void apply_phase() {
+    for_shards([&](std::uint32_t s) {
+      drain(s, MsgKind::kMatch, [&](const ShardMsg& m) {
+        for (VertexId u : pool_.vertices(m.e)) {
+          if (shard_of(u, shards_) != s) continue;
+          EdgeId old = vh_[u].match;
+          if (old == m.e) continue;
+          vh_[u].match = m.e;
+          deltas_[s].push_back(u);
+          if (old != kInvalid)
+            send(s, owner_shard(old), {old, 0, 0, MsgKind::kDisplace});
+        }
+      });
+    });
+  }
+
+  void displace_owner_phase() {
+    for_shards([&](std::uint32_t s) {
+      drain(s, MsgKind::kDisplace, [&](const ShardMsg& m) {
+        if (ehot_[m.e].matched) {  // dedup: both endpoints may report it
+          ehot_[m.e].matched = false;
+          --per_[s].matched_owned;
+          send_verdict(s, m.e, MsgKind::kUnmatch);
+        }
+      });
+    });
+  }
+
+  void unmatch_apply_phase() {
+    for_shards([&](std::uint32_t s) {
+      drain(s, MsgKind::kUnmatch, [&](const ShardMsg& m) {
+        for (VertexId u : pool_.vertices(m.e)) {
+          if (shard_of(u, shards_) != s) continue;
+          if (vh_[u].match == m.e) {
+            vh_[u].match = kInvalid;
+            deltas_[s].push_back(u);
+            pending_[s].push_back(u);
+          }
+        }
+      });
+    });
+  }
+
+  // ---- round groups ----------------------------------------------------
+
+  // Steal-to-fixed-point over this batch's inserted edges: an edge with
+  // at least one taken endpoint whose priority beats EVERY endpoint match
+  // claims; winners displace their victims, whose freed endpoints join
+  // the pending-settle set. Bounded by the resolve-the-minimum argument
+  // in the header comment.
+  void run_steal_rounds() {
+    for (;;) {
+      for_shards([&](std::uint32_t s) {
+        std::uint64_t n = 0;
+        for (EdgeId e : inserted_owned_[s]) {
+          if (!pool_.live(e) || ehot_[e].matched) continue;
+          bool any_taken = false, eligible = true;
+          for (VertexId u : pool_.vertices(e)) {
+            EdgeId m = vh_[u].match;
+            if (m == kInvalid) continue;
+            any_taken = true;
+            if (!matching::detail::beats(pri_[e], e, pri_[m], m)) {
+              eligible = false;
+              break;
+            }
+          }
+          if (!any_taken || !eligible) continue;
+          ++n;
+          send_claim(s, e);
+        }
+        per_[s].claims_this_round = n;
+      });
+      if (total_claims() == 0) break;
+      grant_phase(/*steal=*/true);
+      verdict_phase(0);
+      apply_phase();
+      displace_owner_phase();
+      unmatch_apply_phase();
+      ++stats_.steal_rounds;
+    }
+  }
+
+  // Greedy claim over the batch's all-endpoints-free inserted edges, by
+  // insert priority; losers whose endpoints stay free retry next round.
+  void run_greedy_rounds() {
+    for (;;) {
+      for_shards([&](std::uint32_t s) {
+        std::uint64_t n = 0;
+        for (EdgeId e : inserted_owned_[s]) {
+          if (!pool_.live(e) || ehot_[e].matched) continue;
+          bool all_free = true;
+          for (VertexId u : pool_.vertices(e))
+            if (vh_[u].match != kInvalid) {
+              all_free = false;
+              break;
+            }
+          if (!all_free) continue;
+          ++n;
+          send_claim(s, e);
+        }
+        per_[s].claims_this_round = n;
+      });
+      if (total_claims() == 0) break;
+      grant_phase(/*steal=*/false);
+      verdict_phase(0);
+      apply_phase();
+      ++stats_.greedy_rounds;
+    }
+  }
+
+  // Cross-shard settle: every pending free vertex draws one uniform
+  // candidate among its live free-beyond incident edges, keyed (vertex,
+  // global settle epoch); arbitration and verdicts as above. Iterates
+  // until no shard produced a claim -- at most (#pending) rounds, since
+  // the globally minimum claimed edge commits every round.
+  void run_settle_rounds() {
+    std::size_t backlog = 0;
+    for (const auto& p : pending_) backlog += p.size();
+    if (backlog == 0) return;
+    for (;;) {
+      std::uint64_t epoch = ++settle_epoch_;
+      for_shards([&](std::uint32_t s) {
+        auto& p = pending_[s];
+        std::sort(p.begin(), p.end());
+        p.erase(std::unique(p.begin(), p.end()), p.end());
+        auto& next = pending_next_[s];
+        next.clear();
+        auto& cand = cand_[s];
+        std::uint64_t n = 0;
+        for (VertexId v : p) {
+          if (vh_[v].match != kInvalid) continue;  // settled meanwhile
+          auto& a = adj_[v];
+          a.erase(std::remove_if(a.begin(), a.end(),
+                                 [&](EdgeId e) { return !pool_.live(e); }),
+                  a.end());
+          cand.clear();
+          for (EdgeId e : a) {
+            bool free_beyond = true;
+            for (VertexId u : pool_.vertices(e))
+              if (u != v && vh_[u].match != kInvalid) {
+                free_beyond = false;
+                break;
+              }
+            if (free_beyond) cand.push_back(e);
+          }
+          if (cand.empty()) continue;  // maximality holds for v; drop it
+          EdgeId e;
+          if (cfg_.base.light_only) {
+            e = cand[0];
+            for (EdgeId c : cand)
+              if (matching::detail::beats(pri_[c], c, pri_[e], e)) e = c;
+          } else {
+            std::uint64_t w = cand.size();
+            e = cand[settle_draw_.stream(v, epoch).next_below(w)];
+          }
+          ++n;
+          send_claim(s, e);
+          next.push_back(v);  // retry until matched or out of candidates
+        }
+        p.swap(next);
+        per_[s].claims_this_round = n;
+      });
+      if (total_claims() == 0) break;
+      grant_phase(/*steal=*/false);
+      verdict_phase(epoch);
+      apply_phase();
+      ++stats_.settle_rounds;
+    }
+    for (auto& p : pending_) p.clear();
+  }
+
+  // Batch-end delta publication. Per-shard lists concatenate shard 0..S-1
+  // into one sorted, deduplicated run: within a phase the retain-vs-drain
+  // timing of the mesh can reorder a shard's pushes under parallel
+  // execution, so the raw order is schedule-dependent -- the sorted set
+  // is not, which keeps the sink (and the service's snapshot capture)
+  // inside the determinism contract.
+  void flush_deltas() {
+    if (delta_sink_ != nullptr) {
+      std::size_t base = delta_sink_->size();
+      for (auto& d : deltas_)
+        delta_sink_->insert(delta_sink_->end(), d.begin(), d.end());
+      auto lo = delta_sink_->begin() + static_cast<std::ptrdiff_t>(base);
+      std::sort(lo, delta_sink_->end());
+      delta_sink_->erase(std::unique(lo, delta_sink_->end()),
+                         delta_sink_->end());
+    }
+    for (auto& d : deltas_) d.clear();
+  }
+
+  Config cfg_;
+  std::uint32_t shards_;
+  graph::EdgePool pool_;
+  ShardMesh mesh_;
+
+  // Stateless keyed streams (DESIGN.md S2): a draw depends only on
+  // (master, key, epoch), so any shard can evaluate any key -- the
+  // topology cannot perturb the randomness.
+  parallel::RngStream insert_pri_;
+  parallel::RngStream settle_draw_;
+  parallel::RngStream settle_pri_;
+  std::uint64_t insert_epoch_ = 0;  // insert batches seen
+  std::uint64_t settle_epoch_ = 0;  // cross-shard settle rounds seen
+
+  // Global arrays under single-writer-per-owner discipline: vertex slots
+  // are written only by the vertex's home shard, edge slots only by the
+  // edge's owner shard (claim_/grant_ scratch included).
+  std::vector<std::uint64_t> pri_;
+  std::vector<EdgeHot> ehot_;
+  std::vector<VertexHot> vh_;
+  std::vector<std::vector<EdgeId>> adj_;
+  std::vector<EdgeId> claim_id_;         // per-vertex arbitration scratch
+  std::vector<std::uint64_t> claim_pri_;
+  std::vector<std::uint32_t> grant_cnt_;  // per-edge grant scratch
+  std::vector<std::uint64_t> grant_deg_;
+
+  // Per-shard lists (slot s touched only by shard s inside phases, by the
+  // coordinator between phases).
+  std::vector<std::vector<std::pair<VertexId, EdgeId>>> append_inbox_;
+  std::vector<std::vector<EdgeId>> inserted_owned_;
+  std::vector<std::vector<VertexId>> pending_;
+  std::vector<std::vector<VertexId>> pending_next_;
+  std::vector<std::vector<VertexId>> deltas_;
+  std::vector<std::vector<VertexId>> vtouched_;
+  std::vector<std::vector<EdgeId>> etouched_;
+  std::vector<std::vector<EdgeId>> cand_;
+  std::vector<PerShard> per_;
+
+  std::vector<EdgeId> ids_;  // insert_edges return buffer
+  std::vector<EdgeId> del_;
+  std::vector<VertexId>* delta_sink_ = nullptr;
+  ShardStats stats_;
+};
+
+}  // namespace parmatch::shard

@@ -1,0 +1,37 @@
+// shard/sharded_service.h -- the sharded serving configuration: plugs
+// shard::ShardedMatcher into the generic serving front-end
+// (serve::BasicMatchService). The former/matcher/publisher pipeline,
+// admission layer, journal, and checkpoint recovery are the SAME code as
+// the single-matcher service -- only the matcher behind the apply/delta-
+// sink/export-import surface changes, which is the whole point of the
+// ownership protocol keeping that surface intact (DESIGN.md S15).
+#pragma once
+
+#include "serve/service.h"
+#include "shard/sharded_matcher.h"
+
+namespace parmatch::serve {
+
+// The sharded matcher's config carries the shard count and mesh depth on
+// top of the dyn knobs; build it from the service config's matcher block
+// plus its `shards` field (PARMATCH_SHARDS via ServiceConfig::from_env).
+template <>
+struct MatcherTraits<shard::ShardedMatcher> {
+  static shard::ShardedMatcher make(const ServiceConfig& cfg) {
+    shard::Config sc;
+    sc.base = cfg.matcher;
+    sc.shards = cfg.shards;
+    return shard::ShardedMatcher(sc);
+  }
+};
+
+}  // namespace parmatch::serve
+
+namespace parmatch::shard {
+
+// S-shard service: drop-in for serve::MatchService, bit-identical
+// trajectories across S for a fixed window partition (level-3 determinism
+// contract; tests/test_shard.cpp and the determinism grid check it).
+using ShardedMatchService = serve::BasicMatchService<ShardedMatcher>;
+
+}  // namespace parmatch::shard

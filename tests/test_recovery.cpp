@@ -29,6 +29,7 @@
 #include "serve/checkpoint.h"
 #include "serve/journal.h"
 #include "serve/service.h"
+#include "shard/sharded_service.h"
 #include "util/io/record_log.h"
 #include "util/rng.h"
 
@@ -470,6 +471,93 @@ TEST(ServiceRecovery, ShedPoliciesJournalOnlyCommittedOps) {
   }
 }
 
+// Sharded service recovery (ISSUE 15): the journal carries window
+// contents, not matcher internals, so the SAME log must replay
+// bit-identically through the ownership protocol at any shard count --
+// and the recovered sharded service must keep PR 8's per-lane shed
+// conservation on fresh traffic, exactly like the single-matcher one.
+TEST(ServiceRecovery, ShardedServiceReplaysAndKeepsShedConservation) {
+  DirGuard g(temp_dir("svc_shard"));
+  gen::Workload w = gen::churn(gen::erdos_renyi(700, 2'800, 13), 1, 0.5, 31);
+  auto stream = gen::flatten(w);
+
+  serve::ServiceConfig cfg = pinned_cfg(g.dir, serve::JournalPolicy::kCommit,
+                                        /*ckpt_every=*/4);
+  cfg.shards = 4;
+  cfg.admission.lanes = 4;
+  std::uint64_t fp_stop = 0;
+  {
+    shard::ShardedMatchService svc(cfg);
+    svc.start();
+    std::vector<std::uint64_t> ticket(w.master.size(), 0);
+    for (const gen::Update& u : stream) {
+      std::uint8_t lane = static_cast<std::uint8_t>(u.edge % 4);
+      if (u.is_insert)
+        ticket[u.edge] = svc.submit_insert(w.master.edge(u.edge), lane);
+      else
+        svc.submit_delete(ticket[u.edge], lane);
+    }
+    svc.stop();
+    fp_stop = svc.recovery_fingerprint();
+    ASSERT_TRUE(svc.matcher().check_consistent());
+  }
+
+  // Checkpoint + suffix route.
+  shard::ShardedMatchService recovered(cfg);
+  EXPECT_TRUE(recovered.recovery_info().ran);
+  EXPECT_FALSE(recovered.recovery_info().import_failed);
+  EXPECT_EQ(recovered.recovery_info().epoch_mismatches, 0u);
+  EXPECT_GT(recovered.recovery_info().checkpoint_seqno, 0u)
+      << "no checkpoint taken; the import path went unexercised";
+  EXPECT_EQ(recovered.recovery_fingerprint(), fp_stop);
+  EXPECT_TRUE(recovered.matcher().check_consistent());
+
+  // Pure-replay route on a copy of the log, no checkpoint.
+  {
+    DirGuard gp(temp_dir("svc_shard_pure"));
+    std::error_code ec;
+    std::filesystem::copy_file(
+        serve::journal_path(g.dir), serve::journal_path(gp.dir),
+        std::filesystem::copy_options::overwrite_existing, ec);
+    ASSERT_FALSE(ec);
+    serve::ServiceConfig pcfg =
+        pinned_cfg(gp.dir, serve::JournalPolicy::kCommit);
+    pcfg.shards = 4;
+    pcfg.admission.lanes = 4;
+    shard::ShardedMatchService pure(pcfg);
+    EXPECT_EQ(pure.recovery_info().checkpoint_seqno, 0u);
+    EXPECT_EQ(pure.recovery_fingerprint(), fp_stop);
+  }
+
+  // PR 8 conservation on the recovered service's fresh traffic: per-lane
+  // offered == committed + shed_reject + shed_evict + shed_stale.
+  recovered.start();
+  // 2048 = 32 full pinned windows: drain_until_idle never waits on a
+  // partial window the pinned partition would hold back until stop().
+  for (std::size_t i = 0; i < 2'048; ++i) {
+    VertexId a = static_cast<VertexId>(hash64(81, i) % 700);
+    VertexId b = static_cast<VertexId>(hash64(82, i) % 700);
+    if (a == b) b = (b + 1) % 700;
+    VertexId vs[2] = {a, b};
+    recovered.submit_insert(std::span<const VertexId>(vs, 2),
+                            static_cast<std::uint8_t>(i % 4));
+  }
+  recovered.drain_until_idle();
+  recovered.stop();
+  std::uint64_t off = 0, com = 0, shed = 0;
+  for (std::size_t l = 0; l < 4; ++l) {
+    auto lr = recovered.lane_report(l);
+    off += lr.offered;
+    com += lr.committed;
+    shed += lr.shed_reject + lr.shed_evict + lr.shed_stale;
+    EXPECT_EQ(lr.offered, lr.committed + lr.shed_reject + lr.shed_evict +
+                              lr.shed_stale)
+        << "lane " << l << " post-recovery conservation";
+  }
+  EXPECT_EQ(off, com + shed);
+  EXPECT_TRUE(recovered.matcher().check_consistent());
+}
+
 #if defined(PARMATCH_FAULT_INJECT)
 
 // ---- real SIGKILL crash points (fault-injection builds only) -------------
@@ -596,6 +684,135 @@ TEST(RecoveryCrash, BitIdenticalAfterEveryInjectedCrashPoint) {
     EXPECT_EQ(recovered.recovery_fingerprint(),
               reference.recovery_fingerprint())
         << "recovered state diverges from the uncrashed run";
+  }
+}
+
+// ---- sharded crash arm (ISSUE 15) ----------------------------------------
+// The same SIGKILL crash points, but the dying AND recovering service run
+// the 4-shard ownership protocol: recovery must land bit-identical to an
+// uncrashed sharded run of the journaled prefix, and PR 8 shed
+// conservation must hold on the recovered service's fresh traffic.
+
+serve::ServiceConfig sharded_crash_cfg(const std::string& dir) {
+  serve::ServiceConfig cfg =
+      pinned_cfg(dir, serve::JournalPolicy::kCommit, /*ckpt_every=*/8);
+  cfg.matcher.seed = 7;
+  cfg.max_vertices = kCrashN;
+  cfg.former.max_batch = kCrashBatch;
+  cfg.shards = 4;
+  cfg.admission.lanes = 4;
+  return cfg;
+}
+
+// The crash stream rides lane 0 only: with several active lanes, window
+// composition depends on lane-drain interleaving (run-vs-run identity is
+// NOT claimed there -- see ShedPoliciesJournalOnlyCommittedOps), and this
+// arm compares against a separately-run uncrashed reference. The
+// multi-lane conservation identity is checked on post-recovery traffic,
+// where no run-vs-run claim is needed.
+void sharded_crash_child_body(const std::string& dir) {
+  graph::EdgeBatch edges = gen::erdos_renyi(kCrashN, 2'000, 99);
+  shard::ShardedMatchService svc(sharded_crash_cfg(dir));
+  svc.start();
+  for (std::size_t i = 0; i < kCrashUpdates; ++i)
+    svc.submit_insert(edges.edge(i % edges.size()));
+  svc.stop();  // unreachable when a crash knob is armed
+}
+
+TEST(RecoveryCrash, ShardedChild) {
+  const char* dir = std::getenv("PARMATCH_RECOVERY_SHARD_DIR");
+  if (dir == nullptr) GTEST_SKIP();
+  sharded_crash_child_body(dir);
+}
+
+int run_sharded_crash_child(const std::string& dir,
+                            const std::string& fi_env) {
+  std::string self = self_path();
+  if (self.empty()) return -1;
+  std::string cmd = fi_env + " PARMATCH_RECOVERY_SHARD_DIR=" + dir + " '" +
+                    self + "' --gtest_filter=RecoveryCrash.ShardedChild " +
+                    ">/dev/null 2>&1";
+  FILE* p = popen(cmd.c_str(), "r");
+  if (!p) return -1;
+  char buf[128];
+  while (std::fgets(buf, sizeof buf, p)) {
+  }
+  return pclose(p);
+}
+
+TEST(RecoveryCrash, ShardedServiceRecoversBitIdenticallyAndConserves) {
+  if (std::getenv("PARMATCH_RECOVERY_CHILD_DIR") != nullptr ||
+      std::getenv("PARMATCH_RECOVERY_SHARD_DIR") != nullptr)
+    GTEST_SKIP();
+#ifndef __linux__
+  GTEST_SKIP() << "re-exec via /proc/self/exe is linux-only";
+#endif
+  const CrashScenario scenarios[] = {
+      {"shard_mid_window", "PARMATCH_FI_CRASH_AT=3", false},
+      {"shard_post_ckpt", "PARMATCH_FI_CRASH_AT=13", false},
+      {"shard_torn_tail", "PARMATCH_FI_CRASH_AT=5 PARMATCH_FI_TORN_TAIL=11",
+       true},
+  };
+  for (const CrashScenario& sc : scenarios) {
+    SCOPED_TRACE(sc.name);
+    DirGuard g(temp_dir((std::string("crash_") + sc.name).c_str()));
+    int status = run_sharded_crash_child(g.dir, sc.fi_env);
+    ASSERT_NE(status, -1);
+    bool killed = (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) ||
+                  (WIFEXITED(status) && WEXITSTATUS(status) == 128 + SIGKILL);
+    ASSERT_TRUE(killed) << "sharded child exited cleanly instead of "
+                        << "crashing; raw wait status " << status;
+
+    shard::ShardedMatchService recovered(sharded_crash_cfg(g.dir));
+    const auto& info = recovered.recovery_info();
+    EXPECT_TRUE(info.ran);
+    EXPECT_FALSE(info.import_failed);
+    EXPECT_EQ(info.epoch_mismatches, 0u);
+    if (sc.expect_truncation)
+      EXPECT_GT(recovered.journal().truncated_bytes(), 0u);
+    EXPECT_TRUE(recovered.matcher().check_consistent());
+
+    // Uncrashed sharded reference over exactly the journaled prefix.
+    std::uint64_t last_seq = info.checkpoint_seqno + info.replayed_windows;
+    ASSERT_GT(last_seq, 0u);
+    std::size_t prefix = static_cast<std::size_t>(last_seq) * kCrashBatch;
+    ASSERT_LE(prefix, kCrashUpdates);
+    graph::EdgeBatch edges = gen::erdos_renyi(kCrashN, 2'000, 99);
+    serve::ServiceConfig ref_cfg = sharded_crash_cfg("");
+    ref_cfg.journal.policy = serve::JournalPolicy::kOff;
+    shard::ShardedMatchService reference(ref_cfg);
+    reference.start();
+    for (std::size_t i = 0; i < prefix; ++i)
+      reference.submit_insert(edges.edge(i % edges.size()));
+    reference.stop();
+    EXPECT_EQ(recovered.recovery_fingerprint(),
+              reference.recovery_fingerprint())
+        << "recovered sharded state diverges from the uncrashed run";
+
+    // PR 8 conservation identity on fresh post-recovery traffic.
+    recovered.start();
+    for (std::size_t i = 0; i < 32 * kCrashBatch; ++i) {
+      VertexId a = static_cast<VertexId>(hash64(91, i) % kCrashN);
+      VertexId b = static_cast<VertexId>(hash64(92, i) % kCrashN);
+      if (a == b) b = (b + 1) % kCrashN;
+      VertexId vs[2] = {a, b};
+      recovered.submit_insert(std::span<const VertexId>(vs, 2),
+                              static_cast<std::uint8_t>(i % 4));
+    }
+    recovered.drain_until_idle();
+    recovered.stop();
+    std::uint64_t off = 0, com = 0, shed = 0;
+    for (std::size_t l = 0; l < 4; ++l) {
+      auto lr = recovered.lane_report(l);
+      off += lr.offered;
+      com += lr.committed;
+      shed += lr.shed_reject + lr.shed_evict + lr.shed_stale;
+      EXPECT_EQ(lr.offered, lr.committed + lr.shed_reject + lr.shed_evict +
+                                lr.shed_stale)
+          << "lane " << l << " post-recovery conservation";
+    }
+    EXPECT_EQ(off, com + shed);
+    EXPECT_TRUE(recovered.matcher().check_consistent());
   }
 }
 

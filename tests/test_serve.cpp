@@ -293,6 +293,70 @@ TEST(BatchFormer, AnnihilationWithDuplicateDeletes) {
   EXPECT_EQ(out.absorbed_enqueue_ns.size(), 3u);  // all three stamped once
 }
 
+// Regression (ISSUE 15 satellite): an insert and its delete submitted on
+// DIFFERENT priority lanes but landing in the same window must annihilate
+// exactly once -- not zero times (delete dropped as unknown-ticket because
+// the insert rode another lane) and not twice (both the per-lane and the
+// merged path counting the pair). Pinned partition: nothing flushes before
+// stop(), so each pair provably shares its window.
+TEST(MatchService, CrossLanePairAnnihilatesExactlyOnceInSameWindow) {
+  constexpr std::size_t kPairs = 8;
+  serve::ServiceConfig cfg;
+  cfg.matcher.seed = 3;
+  cfg.max_vertices = 256;
+  cfg.record_latencies = false;
+  cfg.admission.lanes = 4;  // PARMATCH_LANES=4 equivalent
+  cfg.former.max_batch = 64;
+  cfg.former.cost_flush = 1u << 20;
+  cfg.former.max_delay_us = 1u << 30;
+  serve::MatchService svc(cfg);
+  svc.start();
+
+  // kPairs annihilating cross-lane pairs (insert on lane i%4, delete on
+  // lane (i+2)%4) interleaved with kPairs surviving inserts.
+  std::vector<std::uint64_t> doomed, kept;
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    VertexId a = static_cast<VertexId>(4 * i);
+    VertexId vs1[2] = {a, static_cast<VertexId>(a + 1)};
+    VertexId vs2[2] = {static_cast<VertexId>(a + 2),
+                       static_cast<VertexId>(a + 3)};
+    std::uint8_t in_lane = static_cast<std::uint8_t>(i % 4);
+    std::uint8_t del_lane = static_cast<std::uint8_t>((i + 2) % 4);
+    doomed.push_back(
+        svc.submit_insert(std::span<const VertexId>(vs1, 2), in_lane));
+    kept.push_back(
+        svc.submit_insert(std::span<const VertexId>(vs2, 2), in_lane));
+    svc.submit_delete(doomed.back(), del_lane);
+  }
+  svc.stop();  // flushes the single pinned window
+
+  const serve::ServiceStats& st = svc.stats();
+  EXPECT_EQ(st.annihilated, kPairs) << "each cross-lane pair exactly once";
+  EXPECT_EQ(st.applied_inserts, kPairs);  // only the survivors
+  EXPECT_EQ(st.applied_deletes, 0u);
+  EXPECT_EQ(st.dropped_deletes, 0u);
+  for (std::uint64_t t : doomed)
+    EXPECT_EQ(svc.edge_of_ticket(t), kInvalidEdge);
+  for (std::uint64_t t : kept) {
+    EdgeId e = svc.edge_of_ticket(t);
+    ASSERT_NE(e, kInvalidEdge);
+    EXPECT_TRUE(svc.matcher().pool().live(e));
+  }
+  // Lane conservation across the annihilation: every offered request
+  // commits on the lane it was submitted on; sheds stay zero.
+  std::uint64_t offered = 0, committed = 0;
+  for (std::size_t l = 0; l < 4; ++l) {
+    auto lr = svc.lane_report(l);
+    EXPECT_EQ(lr.offered, lr.committed) << "lane " << l;
+    EXPECT_EQ(lr.shed_reject + lr.shed_evict + lr.shed_stale, 0u)
+        << "lane " << l;
+    offered += lr.offered;
+    committed += lr.committed;
+  }
+  EXPECT_EQ(offered, 3 * kPairs);
+  EXPECT_EQ(committed, offered);
+}
+
 // ---- MatchService: end-to-end --------------------------------------------
 
 // Replays a flattened churn stream through (a) the service with producers

@@ -1,0 +1,316 @@
+// tests/test_shard.cpp -- randomized differential harness for the sharded
+// matcher (DESIGN.md S15). The same update stream is driven through
+// ShardedMatcher arms at S = 1, 2, 4 and through the plain DynamicMatcher;
+// at every batch boundary we assert:
+//
+//   * every sharded arm passes its full internal audit (check_consistent:
+//     validity, per-shard matched counts, maximality over live edges),
+//   * the sharded arms produce IDENTICAL matchings edge-for-edge -- edge
+//     ids are assigned by the coordinator in batch order, so the id lists
+//     are comparable across shard counts and the level-3 determinism
+//     contract makes them equal, not just equal-sized,
+//   * maximality holds against an independently rebuilt taken[] map (not
+//     the matcher's own bookkeeping).
+//
+// Every scenario is seed-threaded: the driving seed is printed in each
+// assertion message, and PARMATCH_SHARD_SEED replays a single failing seed
+// without recompiling. Suite names ShardSettle / CrossShardVerdict are
+// load-bearing -- CI's TSan repeat job selects them by regex.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "dyn/dynamic_matcher.h"
+#include "gen/generators.h"
+#include "gen/workloads.h"
+#include "shard/shard_map.h"
+#include "shard/sharded_matcher.h"
+
+namespace parmatch {
+namespace {
+
+constexpr std::uint32_t kArms[] = {1, 2, 4};
+
+shard::ShardedMatcher make_arm(std::uint32_t shards, std::uint64_t seed,
+                               std::size_t max_rank = 2) {
+  shard::Config c;
+  c.base.seed = seed;
+  c.base.max_rank = max_rank;
+  c.shards = shards;
+  return shard::ShardedMatcher(c);
+}
+
+// Seeds to sweep; PARMATCH_SHARD_SEED=<n> narrows to one for replay.
+std::vector<std::uint64_t> harness_seeds() {
+  if (const char* e = std::getenv("PARMATCH_SHARD_SEED"))
+    return {std::strtoull(e, nullptr, 10)};
+  return {1, 7, 42, 1337};
+}
+
+// Independent maximality check: rebuild taken[] from the arm's matching()
+// and verify validity (disjointness, liveness) plus that no live edge is
+// entirely free. Returns the matching for cross-arm comparison.
+std::vector<graph::EdgeId> audit_arm(const shard::ShardedMatcher& m,
+                                     std::span<const graph::EdgeId> live,
+                                     std::uint64_t seed, int step) {
+  auto matched = m.matching();
+  std::vector<graph::EdgeId> taken(m.pool().vertex_bound(),
+                                   graph::kInvalidEdge);
+  for (graph::EdgeId e : matched) {
+    EXPECT_TRUE(m.pool().live(e))
+        << "dead matched edge " << e << " seed=" << seed << " step=" << step;
+    for (graph::VertexId v : m.pool().vertices(e)) {
+      EXPECT_EQ(taken[v], graph::kInvalidEdge)
+          << "vertex " << v << " in two matched edges, seed=" << seed
+          << " step=" << step;
+      taken[v] = e;
+      EXPECT_EQ(m.match_of(v), e)
+          << "match_of disagrees at v=" << v << " seed=" << seed
+          << " step=" << step;
+    }
+  }
+  for (graph::EdgeId e : live) {
+    bool blocked = false;
+    for (graph::VertexId v : m.pool().vertices(e))
+      blocked = blocked || taken[v] != graph::kInvalidEdge;
+    EXPECT_TRUE(blocked) << "edge " << e << " free in a maximal matching, "
+                         << "seed=" << seed << " step=" << step;
+  }
+  return matched;
+}
+
+// Drive one workload through all sharded arms plus the plain matcher,
+// checking equality and the audits at every step boundary.
+void differential_drive(const gen::Workload& w, std::uint64_t seed,
+                        std::size_t max_rank = 2) {
+  SCOPED_TRACE("replay with PARMATCH_SHARD_SEED=" + std::to_string(seed));
+  std::vector<shard::ShardedMatcher> arms;
+  for (std::uint32_t s : kArms) arms.push_back(make_arm(s, seed, max_rank));
+  dyn::Config pc;
+  pc.seed = seed;
+  pc.max_rank = max_rank;
+  dyn::DynamicMatcher plain(pc);
+
+  // live_of_master[i]: per-arm edge id of master edge i, or invalid.
+  // Ids are identical across arms (coordinator-sequential), so one map
+  // plus one for the plain matcher suffices.
+  std::vector<graph::EdgeId> live_sharded(w.master.size(),
+                                          graph::kInvalidEdge);
+  std::vector<graph::EdgeId> live_plain(w.master.size(), graph::kInvalidEdge);
+
+  int step_no = 0;
+  for (const auto& step : w.steps) {
+    if (step.is_insert) {
+      graph::EdgeBatch chunk;
+      for (std::size_t i : step.edges) chunk.add(w.master.edge(i));
+      std::vector<graph::EdgeId> first_ids;
+      for (std::size_t a = 0; a < arms.size(); ++a) {
+        auto ids = arms[a].insert_edges(chunk);
+        if (a == 0) {
+          first_ids.assign(ids.begin(), ids.end());
+        } else {
+          ASSERT_TRUE(std::equal(ids.begin(), ids.end(), first_ids.begin(),
+                                 first_ids.end()))
+              << "edge-id assignment diverged across shard counts, seed="
+              << seed << " step=" << step_no;
+        }
+      }
+      for (std::size_t j = 0; j < first_ids.size(); ++j)
+        live_sharded[step.edges[j]] = first_ids[j];
+      auto pids = plain.insert_edges(chunk);
+      for (std::size_t j = 0; j < pids.size(); ++j)
+        live_plain[step.edges[j]] = pids[j];
+    } else {
+      std::vector<graph::EdgeId> sids, pids;
+      for (std::size_t i : step.edges) {
+        sids.push_back(live_sharded[i]);
+        pids.push_back(live_plain[i]);
+        live_sharded[i] = graph::kInvalidEdge;
+        live_plain[i] = graph::kInvalidEdge;
+      }
+      for (auto& arm : arms) arm.delete_edges(sids);
+      plain.delete_edges(pids);
+    }
+
+    std::vector<graph::EdgeId> live;
+    for (graph::EdgeId e : live_sharded)
+      if (e != graph::kInvalidEdge) live.push_back(e);
+
+    std::vector<graph::EdgeId> reference;
+    for (std::size_t a = 0; a < arms.size(); ++a) {
+      ASSERT_TRUE(arms[a].check_consistent())
+          << "audit failed at S=" << kArms[a] << " seed=" << seed
+          << " step=" << step_no;
+      auto matched = audit_arm(arms[a], live, seed, step_no);
+      if (a == 0) {
+        reference = std::move(matched);
+      } else {
+        ASSERT_EQ(matched, reference)
+            << "matching diverged: S=" << kArms[a] << " vs S=" << kArms[0]
+            << " seed=" << seed << " step=" << step_no;
+      }
+      ASSERT_EQ(arms[a].settle_epochs(), arms[0].settle_epochs())
+          << "settle-epoch count diverged at S=" << kArms[a]
+          << " seed=" << seed << " step=" << step_no;
+    }
+
+    // The plain matcher is an independent maximality oracle: both
+    // matchings are maximal on the same live graph, so the sizes bound
+    // each other within the rank factor.
+    std::size_t r = std::max<std::size_t>(1, max_rank);
+    EXPECT_LE(plain.matched_count(), r * std::max<std::size_t>(
+                                             1, arms[0].matched_count()))
+        << "seed=" << seed << " step=" << step_no;
+    EXPECT_LE(arms[0].matched_count(), r * std::max<std::size_t>(
+                                               1, plain.matched_count()))
+        << "seed=" << seed << " step=" << step_no;
+    ++step_no;
+  }
+}
+
+TEST(ShardDifferential, MixedChurn) {
+  for (std::uint64_t seed : harness_seeds()) {
+    auto w = gen::churn(gen::erdos_renyi(400, 1'600, seed), 64, 0.5,
+                        seed * 2 + 1);
+    differential_drive(w, seed);
+  }
+}
+
+TEST(ShardDifferential, DeleteHeavyChurn) {
+  for (std::uint64_t seed : harness_seeds()) {
+    auto w = gen::churn(gen::erdos_renyi(300, 1'200, seed ^ 0x9E37ull), 48,
+                        0.35, seed * 3 + 7);
+    differential_drive(w, seed);
+  }
+}
+
+TEST(ShardDifferential, HubChurn) {
+  for (std::uint64_t seed : harness_seeds()) {
+    auto w = gen::churn(gen::hub_graph(12, 120), 56, 0.45, seed);
+    differential_drive(w, seed);
+  }
+}
+
+TEST(ShardDifferential, HypergraphChurn) {
+  for (std::uint64_t seed : harness_seeds()) {
+    auto w = gen::churn(gen::random_hypergraph(300, 900, 3, seed), 40, 0.5,
+                        seed + 11);
+    differential_drive(w, seed, /*max_rank=*/3);
+  }
+}
+
+// Settle-round behaviour across shard counts under sustained deletion
+// pressure: deletes free matched vertices into the pending backlog, and
+// the cross-shard settle loop must drain it identically at every S.
+// (Name feeds CI's TSan repeat regex.)
+TEST(ShardSettle, DeleteBacklogDrainsIdentically) {
+  for (std::uint64_t seed : harness_seeds()) {
+    auto base = gen::erdos_renyi(250, 1'000, seed + 5);
+    auto w = gen::churn(std::move(base), 32, 0.25, seed * 7 + 3);
+    differential_drive(w, seed);
+  }
+}
+
+// Cross-shard verdict shipping: a hub graph pushed through a high shard
+// count maximizes foreign-endpoint edges, so nearly every verdict crosses
+// the mesh. Checks cross-traffic is actually exercised and conserved.
+// (Name feeds CI's TSan repeat regex.)
+TEST(CrossShardVerdict, HubTrafficConserved) {
+  std::uint64_t seed = harness_seeds().front();
+  auto arm = make_arm(4, seed);
+  auto w = gen::churn(gen::hub_graph(8, 160), 64, 0.5, seed);
+  std::vector<graph::EdgeId> live_of(w.master.size(), graph::kInvalidEdge);
+  for (const auto& step : w.steps) {
+    if (step.is_insert) {
+      graph::EdgeBatch chunk;
+      for (std::size_t i : step.edges) chunk.add(w.master.edge(i));
+      auto ids = arm.insert_edges(chunk);
+      for (std::size_t j = 0; j < ids.size(); ++j)
+        live_of[step.edges[j]] = ids[j];
+    } else {
+      std::vector<graph::EdgeId> ids;
+      for (std::size_t i : step.edges) {
+        ids.push_back(live_of[i]);
+        live_of[i] = graph::kInvalidEdge;
+      }
+      arm.delete_edges(ids);
+    }
+    ASSERT_TRUE(arm.check_consistent()) << "seed=" << seed;
+  }
+  std::uint64_t sent = 0, recv = 0, cross_sent = 0, cross_recv = 0;
+  for (std::uint32_t s = 0; s < arm.shards(); ++s) {
+    sent += arm.counters(s).msgs_sent;
+    recv += arm.counters(s).msgs_recv;
+    cross_sent += arm.counters(s).cross_sent;
+    cross_recv += arm.counters(s).cross_recv;
+  }
+  EXPECT_EQ(sent, recv) << "mesh lost or duplicated messages";
+  EXPECT_EQ(cross_sent, cross_recv);
+  EXPECT_GT(cross_sent, 0u) << "hub workload produced no cross-shard "
+                               "traffic; sharding not exercised";
+}
+
+// A cross-shard edge's verdict must land on every foreign endpoint home:
+// deliberately route a single path graph through S=4 and spot-check
+// match_of agreement vertex by vertex against matching().
+TEST(CrossShardVerdict, PathGraphVerdictsLand) {
+  auto arm = make_arm(4, 99);
+  graph::EdgeBatch b;
+  constexpr graph::VertexId n = 64;
+  for (graph::VertexId v = 0; v + 1 < n; ++v) {
+    graph::VertexId e[2] = {v, v + 1};
+    b.add(std::span<const graph::VertexId>(e, 2));
+  }
+  arm.insert_edges(b);
+  ASSERT_TRUE(arm.check_consistent());
+  std::size_t cross = 0;
+  for (graph::EdgeId e : arm.matching()) {
+    auto vs = arm.pool().vertices(e);
+    if (shard::crosses_shards(vs, arm.shards())) ++cross;
+    for (graph::VertexId v : vs) EXPECT_EQ(arm.match_of(v), e);
+  }
+  EXPECT_GT(cross, 0u) << "no matched edge crossed shards on a 64-path";
+  EXPECT_GE(arm.matched_count(), (n - 1) / 3)  // maximal path matching
+      << "path matching implausibly small";
+}
+
+// Export/import round-trip at every shard count: the restored matcher must
+// fingerprint identically and keep answering deltas identically.
+TEST(ShardDifferential, ExportImportRoundTrip) {
+  for (std::uint32_t s : kArms) {
+    auto arm = make_arm(s, 13);
+    auto w = gen::churn(gen::erdos_renyi(200, 800, 13), 64, 0.5, 29);
+    std::vector<graph::EdgeId> live_of(w.master.size(), graph::kInvalidEdge);
+    std::size_t half = w.steps.size() / 2, at = 0;
+    for (const auto& step : w.steps) {
+      if (at++ == half) break;
+      if (step.is_insert) {
+        graph::EdgeBatch chunk;
+        for (std::size_t i : step.edges) chunk.add(w.master.edge(i));
+        auto ids = arm.insert_edges(chunk);
+        for (std::size_t j = 0; j < ids.size(); ++j)
+          live_of[step.edges[j]] = ids[j];
+      } else {
+        std::vector<graph::EdgeId> ids;
+        for (std::size_t i : step.edges) {
+          ids.push_back(live_of[i]);
+          live_of[i] = graph::kInvalidEdge;
+        }
+        arm.delete_edges(ids);
+      }
+    }
+    std::vector<std::uint64_t> blob;
+    arm.export_state(blob);
+    auto twin = make_arm(s, 13);
+    ASSERT_TRUE(twin.import_state(blob)) << "S=" << s;
+    EXPECT_EQ(twin.state_fingerprint(), arm.state_fingerprint()) << "S=" << s;
+    EXPECT_EQ(twin.matching(), arm.matching()) << "S=" << s;
+    ASSERT_TRUE(twin.check_consistent()) << "S=" << s;
+  }
+}
+
+}  // namespace
+}  // namespace parmatch
